@@ -1,0 +1,58 @@
+"""Ablation: the offload engine's aggregated LOAD (section 4.1).
+
+The paper motivates aggregating all cur_ptr-relative accesses into one
+<=256 B LOAD per iteration: naive translation would issue a separate load
+for each field reference (key, value, next in the hash kernel), slowing
+execution and wasting memory-pipeline slots.  This bench runs the same
+workload on an accelerator that charges each distinct field access as its
+own load and measures the damage.
+"""
+
+from conftest import save_table, scale_requests
+
+from repro.bench.driver import run_workload
+from repro.bench.experiments import format_table
+from repro.core import PulseCluster
+from repro.workloads import build_upc
+
+
+def _run(split_loads: bool):
+    cluster = PulseCluster(node_count=1, split_loads=split_loads)
+    upc = build_upc(cluster.memory, 1, num_pairs=10_000,
+                    requests=scale_requests(40), seed=0)
+    lat = run_workload(cluster, upc.operations[:len(upc.operations) // 2],
+                       concurrency=2)
+    tput = run_workload(cluster,
+                        upc.operations[len(upc.operations) // 2:],
+                        concurrency=48)
+    runs = len(upc.operations[0][0].program.naive_load_runs())
+    return lat.avg_latency_ns, tput.throughput_per_s, runs
+
+
+def _compare():
+    agg_lat, agg_tput, runs = _run(split_loads=False)
+    split_lat, split_tput, _ = _run(split_loads=True)
+    return {
+        "aggregated": (agg_lat, agg_tput),
+        "per-field": (split_lat, split_tput),
+        "runs": runs,
+    }
+
+
+def test_ablation_load_aggregation(once):
+    results = once(_compare)
+    agg_lat, agg_tput = results["aggregated"]
+    split_lat, split_tput = results["per-field"]
+
+    save_table("ablation_load_agg", format_table(
+        ["variant", "avg_us", "kops/s"],
+        [("aggregated LOAD", f"{agg_lat/1e3:.1f}", f"{agg_tput/1e3:.0f}"),
+         (f"per-field loads (x{results['runs']})",
+          f"{split_lat/1e3:.1f}", f"{split_tput/1e3:.0f}")]))
+
+    # The recurring hash iteration reads key@0 and next@248: two
+    # non-mergeable loads without aggregation, each paying translation
+    # plus the DRAM latency tail.
+    assert results["runs"] >= 2
+    assert split_lat > 1.3 * agg_lat
+    assert split_tput < agg_tput

@@ -1,0 +1,73 @@
+"""Sensitivity to network latency: why offloading wins more as wires
+get longer.
+
+The paper's opening argument: remote memory access latency is an order
+of magnitude above local DRAM and "speed-of-light constraints make it
+impossible to improve network latency beyond a point" (§1).  Offloading
+pays that latency once per traversal; paging pays it once per *hop*.
+This bench sweeps the per-segment wire latency and shows the gap
+widening linearly for the Cache baseline while pulse and RPC stay
+nearly flat -- the structural reason caches cannot be fixed by better
+networks.
+"""
+
+from dataclasses import replace
+
+from conftest import save_table, scale_requests
+
+from repro.bench.driver import run_workload
+from repro.bench.experiments import format_table, make_system
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import build_upc
+
+SEGMENT_NS = (200.0, 425.0, 1_000.0, 2_000.0)
+SYSTEMS = ("pulse", "rpc", "cache")
+
+
+def _latency(system_name: str, segment_ns: float) -> float:
+    network = replace(DEFAULT_PARAMS.network, segment_ns=segment_ns)
+    params = DEFAULT_PARAMS.with_overrides(network=network)
+    system = make_system(system_name, node_count=1, params=params)
+    upc = build_upc(system.memory, 1, num_pairs=8_000, chain_length=100,
+                    requests=scale_requests(16), seed=0)
+    stats = run_workload(system, upc.operations, concurrency=2)
+    assert stats.faults == 0
+    return stats.avg_latency_ns
+
+
+def test_sensitivity_network_latency(once):
+    results = once(lambda: {
+        (system, seg): _latency(system, seg)
+        for system in SYSTEMS
+        for seg in SEGMENT_NS
+    })
+
+    rows = []
+    for (system, seg), latency in sorted(results.items()):
+        rows.append((system, f"{seg:.0f}", f"{latency/1e3:.1f}"))
+    save_table("sensitivity_network", format_table(
+        ["system", "segment_ns", "avg_us"], rows))
+
+    def growth(system):
+        return (results[(system, SEGMENT_NS[-1])]
+                / results[(system, SEGMENT_NS[0])])
+
+    # 10x longer wires: offloading systems barely notice (one round
+    # trip per request)...
+    assert growth("pulse") < 2.0
+    assert growth("rpc") < 2.0
+    # ... while the paging baseline pays per *hop*: its absolute slope
+    # (added latency per unit of wire) is tens of round trips per
+    # request against pulse's single one.
+    def slope(system):
+        return (results[(system, SEGMENT_NS[-1])]
+                - results[(system, SEGMENT_NS[0])])
+
+    assert growth("cache") > 2.0
+    assert slope("cache") > 20 * slope("pulse")
+
+    # At every latency point, the offload advantage holds and widens.
+    ratios = [results[("cache", seg)] / results[("pulse", seg)]
+              for seg in SEGMENT_NS]
+    assert all(r > 8 for r in ratios)
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,72 @@
+"""Table 2: workload characteristics -- eta and average iterations.
+
+Paper values: UPC (hash table) eta=0.06, ~100 iterations; TC (B+Tree)
+eta=0.79, 75 iterations; TSV (B+Tree) eta=0.89 with 44/87/165/320
+iterations for 7.5/15/30/60 s windows.
+"""
+
+from conftest import save_table, scale_requests
+
+from repro.bench.experiments import build_workload, format_table, make_system
+from repro.bench.driver import run_workload
+from repro.isa import analyze
+from repro.params import DEFAULT_PARAMS
+
+PAPER = {
+    "UPC": (0.06, 100),
+    "TC": (0.79, 75),
+    "TSV-7.5s": (0.89, 44),
+    "TSV-15s": (0.89, 87),
+    "TSV-30s": (0.89, 165),
+    "TSV-60s": (0.89, 320),
+}
+
+
+def _measure():
+    rows = []
+    for name, (paper_eta, paper_iters) in PAPER.items():
+        system = make_system("pulse", node_count=1)
+        requests = scale_requests(
+            30 if not name.startswith("TSV-3") and name != "TSV-60s"
+            else 12)
+        workload = build_workload(system, name, 1, requests=requests,
+                                  seed=0)
+        # eta from static analysis of the workload's kernels (mean over
+        # the distinct programs the operation stream uses).
+        programs = {id(it.program): it.program
+                    for it, _ in workload.operations}
+        etas = [analyze(p, DEFAULT_PARAMS.accelerator).eta
+                for p in programs.values()]
+        eta = sum(etas) / len(etas)
+        stats = run_workload(system, workload.operations, concurrency=4)
+        rows.append((name, eta, stats.avg_iterations, paper_eta,
+                     paper_iters))
+    return rows
+
+
+def test_table2_workload_characteristics(once):
+    rows = once(_measure)
+    table = format_table(
+        ["workload", "eta(sim)", "eta(paper)", "iters(sim)",
+         "iters(paper)"],
+        [(name, f"{eta:.2f}", f"{paper_eta:.2f}", f"{iters:.0f}",
+          paper_iters)
+         for name, eta, iters, paper_eta, paper_iters in rows],
+    )
+    save_table("table2_workloads", table)
+
+    by_name = {r[0]: r for r in rows}
+    # eta within coarse bands of the paper's values.
+    assert abs(by_name["UPC"][1] - 0.06) < 0.05
+    assert abs(by_name["TC"][1] - 0.79) < 0.2
+    for name in ("TSV-7.5s", "TSV-15s", "TSV-30s", "TSV-60s"):
+        assert 0.5 <= by_name[name][1] <= 1.0
+
+    # Average iteration counts within ~35% of Table 2.
+    for name, eta, iters, paper_eta, paper_iters in rows:
+        assert 0.6 * paper_iters <= iters <= 1.45 * paper_iters, name
+
+    # The TSV ladder doubles with the window.
+    tsv = [by_name[f"TSV-{w}s"][2] for w in ("7.5", "15", "30", "60")]
+    for shorter, longer in zip(tsv, tsv[1:]):
+        assert 1.6 <= longer / shorter <= 2.4

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Rack-scale distributed pointer traversals (section 5).
+
+Spreads a B+Tree across four memory nodes and shows:
+
+* the switch re-routing traversals between memory nodes (pulse) versus
+  bouncing every inter-node hop through the CPU node (pulse-ACC);
+* how the allocation policy changes the number of hops (Supp Fig 2);
+* hop statistics straight from the programmable switch.
+
+Run:  python examples/distributed_traversal.py
+"""
+
+from repro import PulseCluster
+from repro.structures import BPlusTree
+
+NODES = 4
+KEYS = 20_000
+SCAN = 400
+
+
+def build_tree(cluster, partitioned: bool):
+    if partitioned:
+        # Key-range partitioning: subtree i lives wholly on node i.
+        def by_key(min_key):
+            return min(NODES - 1, min_key * NODES // KEYS)
+        tree = BPlusTree(cluster.memory, fanout=12, key_placement=by_key)
+    else:
+        # Round-robin placement: every hop is likely to cross nodes.
+        tree = BPlusTree(cluster.memory, fanout=12,
+                         placement=lambda ordinal: ordinal % NODES)
+    tree.bulk_load([(k, k) for k in range(KEYS)])
+    return tree
+
+
+def run_scan(cluster, tree, start):
+    scanner = tree.scan_count_iterator(limit=SCAN)
+    return cluster.run_traversal(scanner, start)
+
+
+def main() -> None:
+    for mode, bounce in [("pulse (in-switch re-routing)", False),
+                         ("pulse-ACC (bounce via CPU node)", True)]:
+        print(f"=== {mode} ===")
+        for policy in ("uniform", "partitioned"):
+            cluster = PulseCluster(node_count=NODES,
+                                   bounce_to_client=bounce)
+            tree = build_tree(cluster, partitioned=policy == "partitioned")
+            latencies, hops = [], []
+            for start in (1_000, 8_000, 15_000):
+                result = run_scan(cluster, tree, start)
+                count, _checksum = result.value
+                assert count >= SCAN
+                latencies.append(result.latency_ns / 1000)
+                hops.append(result.hops)
+            switch = cluster.switch
+            print(f"  {policy:12s} avg latency "
+                  f"{sum(latencies)/len(latencies):8.1f} us | "
+                  f"hops/scan {sum(hops)/len(hops):5.1f} | switch: "
+                  f"{switch.routed_to_memory} routed, "
+                  f"{switch.rerouted_node_to_node} re-routed, "
+                  f"{switch.returned_to_client} returned")
+        print()
+
+    print("Takeaways (matching Fig 8 and Supp Fig 2):")
+    print(" * partitioned placement nearly eliminates inter-node hops;")
+    print(" * under uniform placement, in-switch re-routing beats")
+    print("   bouncing through the CPU node by ~2x in latency;")
+    print(" * the switch needs exactly one routing rule per memory node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""pulse: accelerating distributed pointer-traversals on disaggregated
+memory -- a simulation-based reproduction of the ASPLOS 2025 paper.
+
+Quickstart::
+
+    from repro import PulseCluster
+    from repro.structures import HashTable
+
+    cluster = PulseCluster(node_count=2)
+    table = HashTable(cluster.memory, buckets=64, value_bytes=16,
+                      partition_nodes=2)
+    table.insert(42, b"hello, rack mem!")
+    result = cluster.run_traversal(table.find_iterator(), 42)
+    print(result.value, f"{result.latency_ns/1000:.1f} us")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.core import (
+    KernelBuilder,
+    OffloadEngine,
+    PulseCluster,
+    PulseIterator,
+)
+from repro.core.iterator import TraversalResult
+from repro.params import DEFAULT_PARAMS, SystemParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "KernelBuilder",
+    "OffloadEngine",
+    "PulseCluster",
+    "PulseIterator",
+    "SystemParams",
+    "TraversalResult",
+    "__version__",
+]

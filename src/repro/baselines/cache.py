@@ -1,0 +1,232 @@
+"""The Cache-based baseline: Fastswap-style demand paging.
+
+The traversal's kernel executes at the *CPU node*; every memory reference
+goes through a client-side page cache (default 4 KB pages, 2 MB capacity
+against the scaled-down datasets -- preserving the paper's 2 GB : hundreds
+of GB ratio).  A miss is a page fault: kernel fault-handling software
+(3.5 us-class, section 7.1's "software overheads of page swapping"), a
+network round trip, and a 4 KB transfer.  This is why the approach is
+simultaneously slow (pointer chasing has no locality, so nearly every hop
+faults) and network-bound (4 KB moved per 256 B actually used -- Fig 6's
+"network bandwidth identical to memory bandwidth").
+
+Page faults are served by a small pool of fault handlers; concurrency
+beyond the pool queues, modeling the paging path's limited parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.baselines.common import BaselineSystem
+from repro.core.iterator import PulseIterator, TraversalResult
+from repro.isa.instructions import ExecutionFault, wrap64
+from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.mem.translation import TranslationFault
+from repro.sim.network import Message
+from repro.sim.resources import Resource
+
+PAGE_KIND = "page"
+
+
+class PageCache:
+    """Client-resident LRU page cache."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 1:
+            raise ValueError("cache needs at least one page")
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._pages
+
+    def access(self, page: int) -> bool:
+        """Touch a page; returns True on hit."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, page: int) -> None:
+        if page in self._pages:
+            return
+        if len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+            self.evictions += 1
+        self._pages[page] = True
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheSystem(BaselineSystem):
+    """Demand-paging rack: dumb memory nodes, all smarts at the client."""
+
+    def __init__(self, node_count: int = 1, params=None,
+                 cache_bytes: Optional[int] = None,
+                 fault_handlers: int = 4, seed: int = 0, **kwargs):
+        super().__init__(node_count, params, seed=seed, **kwargs)
+        mem = self.params.memory
+        size = cache_bytes if cache_bytes is not None else mem.cache_bytes
+        self.page_bytes = mem.page_bytes
+        self.cache = PageCache(max(1, size // self.page_bytes))
+        self.client = self.fabric.register("client0")
+        #: kernel fault-handling contexts
+        self.fault_unit = Resource(self.env, capacity=fault_handlers)
+        self.cpu_unit = Resource(self.env, capacity=8)
+        self.servers = [_PagingServer(self, node)
+                        for node in self.memory.nodes]
+        self.completed: List[TraversalResult] = []
+        self.pages_fetched = 0
+        self.env.process(self._drain_client_inbox())
+
+    def _drain_client_inbox(self):
+        # Page payloads are delivered to fault processes via events keyed
+        # in the message; the inbox itself just needs draining.
+        while True:
+            message = yield self.client.inbox.get()
+            waiter = message.payload
+            waiter.succeed(message)
+
+    # -- the traversal, executed at the CPU node ------------------------------
+    def traverse(self, iterator: PulseIterator, *args):
+        start = self.env.now
+        cur_ptr, scratch = iterator.init(*args)
+        machine = IteratorMachine(iterator.program)
+        machine.reset(cur_ptr, scratch)
+        window_offset, window_size = iterator.program.load_window
+        cpu = self.params.cpu
+        acc = self.params.accelerator
+
+        iterations = 0
+        faulted = False
+        fault_reason = ""
+        while True:
+            address = wrap64(machine.cur_ptr + window_offset)
+            try:
+                self.memory.read(address, window_size)  # validity check
+            except TranslationFault as exc:
+                faulted = True
+                fault_reason = str(exc)
+                break
+
+            first_page = address // self.page_bytes
+            last_page = (address + window_size - 1) // self.page_bytes
+            for page in range(first_page, last_page + 1):
+                yield from self._access_page(page)
+
+            try:
+                step = machine.run_iteration(self.memory.read,
+                                             self.memory.write)
+            except ExecutionFault as exc:
+                faulted = True
+                fault_reason = str(exc)
+                break
+
+            iterations += 1
+            yield from self._hold(
+                self.cpu_unit,
+                step.instructions_executed * cpu.instruction_ns())
+            if step.outcome is IterationOutcome.DONE:
+                break
+            if iterations >= 4 * acc.max_iterations:
+                faulted = True
+                fault_reason = "runaway traversal"
+                break
+
+        result = TraversalResult(
+            value=(None if faulted
+                   else iterator.finalize(bytes(machine.scratch))),
+            iterations=iterations,
+            latency_ns=self.env.now - start,
+            offloaded=False,
+            faulted=faulted,
+            fault_reason=fault_reason,
+        )
+        self.completed.append(result)
+        return result
+
+    def _access_page(self, page: int):
+        cpu = self.params.cpu
+        if self.cache.access(page):
+            # Local DRAM hit at the CPU node.
+            yield self.env.timeout(cpu.dram_access_ns)
+            return
+        yield from self._fault(page)
+
+    def _fault(self, page: int):
+        """One demand-paging round trip for ``page``."""
+        net = self.params.network
+        grant = self.fault_unit.request()
+        yield grant
+        try:
+            # Double check: another fault may have filled it while queued.
+            if page in self.cache:
+                return
+            yield self.env.timeout(net.paging_stack_ns)
+            address = page * self.page_bytes
+            owner = self.memory.addrspace.node_of(address)
+            owner_name = f"mem{owner}" if owner is not None else "mem0"
+            waiter = self.env.event()
+            self.fabric.send(Message(
+                kind=PAGE_KIND, src="client0", dst=owner_name,
+                size_bytes=128, payload=(waiter, page)))
+            yield waiter
+            self.cache.fill(page)
+            self.pages_fetched += 1
+        finally:
+            self.fault_unit.release(grant)
+
+    # -- observability -------------------------------------------------------
+    def memory_bandwidth_utilization(self, duration_ns: float) -> float:
+        if duration_ns <= 0:
+            return 0.0
+        cap = self.params.memory.bandwidth_bytes_per_ns
+        per_node = [s.bytes_served / duration_ns / cap
+                    for s in self.servers]
+        return sum(per_node) / len(per_node)
+
+    def network_bandwidth_utilization(self, duration_ns: float) -> float:
+        if duration_ns <= 0:
+            return 0.0
+        peak = max(self.client.tx_bytes, self.client.rx_bytes)
+        return peak / (duration_ns * self.params.network.link_bytes_per_ns)
+
+
+class _PagingServer:
+    """Memory node side of a page fetch: DRAM read + page send."""
+
+    def __init__(self, system: CacheSystem, node):
+        self.system = system
+        self.env = system.env
+        self.node = node
+        self.endpoint = system.fabric.register(node.name)
+        self.bandwidth_gate = Resource(self.env, capacity=1)
+        self.bytes_served = 0
+        self.env.process(self._serve_loop())
+
+    def _serve_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            self.env.process(self._handle(message))
+
+    def _handle(self, message: Message):
+        system = self.system
+        waiter, _page = message.payload
+        page_bytes = system.page_bytes
+        bw = system.params.memory.bandwidth_bytes_per_ns
+        yield from system._hold(self.bandwidth_gate, page_bytes / bw)
+        yield self.env.timeout(system.params.cpu.dram_access_ns)
+        self.bytes_served += page_bytes
+        system.fabric.send(Message(
+            kind=PAGE_KIND, src=self.node.name, dst="client0",
+            size_bytes=page_bytes + 128, payload=waiter))

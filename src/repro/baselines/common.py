@@ -1,0 +1,58 @@
+"""Scaffolding shared by the baseline systems."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.mem.allocator import PlacementPolicy
+from repro.mem.node import GlobalMemory
+from repro.params import DEFAULT_PARAMS, CpuParams, SystemParams
+from repro.sim.engine import Environment
+from repro.sim.network import Fabric
+from repro.sim.resources import Resource
+
+
+class BaselineSystem:
+    """Environment + fabric + rack memory, without pulse hardware."""
+
+    def __init__(self, node_count: int = 1,
+                 params: Optional[SystemParams] = None,
+                 policy: PlacementPolicy = PlacementPolicy.UNIFORM,
+                 node_capacity: Optional[int] = None,
+                 seed: int = 0):
+        self.params = params if params is not None else DEFAULT_PARAMS
+        self.env = Environment()
+        self.fabric = Fabric(self.env, self.params.network, seed=seed)
+        capacity = (node_capacity if node_capacity is not None
+                    else self.params.memory.node_capacity_bytes)
+        self.memory = GlobalMemory(node_count, capacity, policy)
+
+    @property
+    def node_count(self) -> int:
+        return self.memory.node_count
+
+    def _hold(self, resource: Resource, duration: float):
+        grant = resource.request()
+        yield grant
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            resource.release(grant)
+
+
+def workers_to_saturate(cpu: CpuParams, bandwidth_bytes_per_ns: float,
+                        window_bytes: int = 256,
+                        instructions_per_iteration: int = 20) -> int:
+    """Minimum memory-node workers that saturate the bandwidth cap.
+
+    Section 7: "we employ the minimum number of memory-node workers that
+    can saturate the memory bandwidth" -- important for the energy
+    comparison, where idle workers would burn power for nothing.  One
+    worker streams ``window_bytes`` per iteration and each iteration
+    costs a DRAM access plus its compute.
+    """
+    iteration_ns = (cpu.memory_access_ns(window_bytes)
+                    + instructions_per_iteration * cpu.instruction_ns())
+    per_worker = window_bytes / iteration_ns
+    return max(1, math.ceil(bandwidth_bytes_per_ns / per_worker))

@@ -1,0 +1,265 @@
+"""RPC and RPC-W baselines: traversal offload to the memory-node CPU.
+
+Represents the eRPC/DPDK class of systems (section 7): the client ships
+the same compiled kernel, a worker on the memory node's CPU executes it
+against local DRAM, and the result returns in one round trip.  RPC-W
+(``wimpy=True``) emulates SmartNIC ARM-class cores by dropping the clock
+to 1.0 GHz, exactly the paper's intel_pstate downscaling.
+
+Distributed traversals: CPUs at one node cannot follow a pointer into
+another node's DRAM; when the traversal leaves the node, the worker
+returns a RUNNING response and the *client* re-issues the request to the
+owning node (the extra round trip + client software that pulse's
+in-switch re-routing removes; section 5, Fig 8's discussion).
+
+Worker count defaults to the minimum saturating memory bandwidth
+(section 7's energy-fairness rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.common import BaselineSystem, workers_to_saturate
+from repro.core.iterator import PulseIterator, TraversalResult
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.isa.instructions import ExecutionFault, wrap64
+from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.mem.translation import ProtectionFault
+from repro.sim.network import Message
+from repro.sim.resources import Resource
+
+RPC_KIND = "rpc"
+
+
+class RpcServerStats:
+    def __init__(self):
+        self.requests = 0
+        self.iterations = 0
+        self.bytes_loaded = 0
+        self.busy_ns = 0.0
+
+
+class _RpcServer:
+    """One memory node's RPC service."""
+
+    def __init__(self, system: "RpcSystem", node, workers: int):
+        self.system = system
+        self.env = system.env
+        self.node = node
+        self.endpoint = system.fabric.register(node.name)
+        self.workers = Resource(self.env, capacity=workers)
+        self.worker_count = workers
+        #: serialized DRAM bandwidth share (the RDT cap of section 7)
+        self.bandwidth_gate = Resource(self.env, capacity=1)
+        #: eRPC is run-to-completion: each worker core handles its own
+        #: rx/tx, so stack capacity scales with the worker pool
+        self.stack = Resource(self.env, capacity=workers)
+        self.stats = RpcServerStats()
+        self.env.process(self._serve_loop())
+
+    def _serve_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            self.env.process(self._handle(message))
+
+    def _handle(self, message: Message):
+        system = self.system
+        net = system.params.network
+        request: TraversalRequest = message.payload
+
+        yield from system._hold(self.stack, net.dpdk_stack_ns)
+        grant = self.workers.request()
+        yield grant
+        started = self.env.now
+        self.stats.requests += 1
+        try:
+            response = yield from self._execute(request)
+        finally:
+            self.stats.busy_ns += self.env.now - started
+            self.workers.release(grant)
+        yield from system._hold(self.stack, net.dpdk_stack_ns)
+        system.fabric.send(Message(
+            kind=RPC_KIND, src=self.node.name, dst=message.src,
+            size_bytes=response.wire_bytes(), payload=response))
+
+    def _execute(self, request: TraversalRequest):
+        system = self.system
+        cpu = system.cpu
+        acc = system.params.accelerator  # iteration budget only
+        program = request.program
+        window_offset, window_size = program.load_window
+
+        machine = IteratorMachine(program)
+        try:
+            machine.reset(request.cur_ptr, request.scratch)
+        except ExecutionFault as exc:
+            return request.advanced(request.cur_ptr, request.scratch, 0,
+                                    RequestStatus.FAULT, str(exc))
+
+        iterations = 0
+        while True:
+            load_addr = wrap64(machine.cur_ptr + window_offset)
+            entry = self.node.table.lookup(load_addr, window_size)
+            if entry is None:
+                owner = self.node.addrspace.node_of(load_addr)
+                if owner is not None and owner != self.node.node_id:
+                    response = request.advanced(
+                        machine.cur_ptr, bytes(machine.scratch),
+                        iterations, RequestStatus.RUNNING)
+                    response.node_hops = request.node_hops + 1
+                    return response
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.FAULT,
+                    f"invalid pointer {load_addr:#x}")
+
+            # DRAM access through the shared bandwidth cap.
+            bw = system.params.memory.bandwidth_bytes_per_ns
+            yield from system._hold(self.bandwidth_gate,
+                                    window_size / bw)
+            yield self.env.timeout(cpu.memory_access_ns(window_size))
+
+            memory = self.node.memory
+
+            def read(vaddr: int, size: int) -> bytes:
+                return memory.read(entry.translate(vaddr), size)
+
+            try:
+                step = machine.run_iteration(read, self.node.write_virt)
+            except (ExecutionFault, ProtectionFault) as exc:
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.FAULT, str(exc))
+
+            iterations += 1
+            self.stats.iterations += 1
+            self.stats.bytes_loaded += step.load_bytes
+            yield self.env.timeout(
+                step.instructions_executed * cpu.instruction_ns())
+
+            if step.outcome is IterationOutcome.DONE:
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.DONE)
+            if request.iterations_done + iterations >= acc.max_iterations:
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.ITER_LIMIT)
+
+
+class RpcSystem(BaselineSystem):
+    """The RPC / RPC-W baseline rack."""
+
+    def __init__(self, node_count: int = 1, params=None, wimpy: bool = False,
+                 workers_per_node: Optional[int] = None, seed: int = 0,
+                 **kwargs):
+        super().__init__(node_count, params, seed=seed, **kwargs)
+        self.wimpy = wimpy
+        self.cpu = self.params.wimpy if wimpy else self.params.cpu
+        workers = (workers_per_node if workers_per_node is not None
+                   else workers_to_saturate(
+                       self.cpu,
+                       self.params.memory.bandwidth_bytes_per_ns))
+        self.workers_per_node = workers
+        self.client = self.fabric.register("client0")
+        self.client_stack = Resource(self.env, capacity=8)
+        self.servers: List[_RpcServer] = [
+            _RpcServer(self, node, workers)
+            for node in self.memory.nodes
+        ]
+        self._waiters: Dict[tuple, object] = {}
+        self._counter = 0
+        self.completed: List[TraversalResult] = []
+        self.env.process(self._client_rx_loop())
+
+    @property
+    def name(self) -> str:
+        return "RPC-W" if self.wimpy else "RPC"
+
+    # -- client ----------------------------------------------------------------
+    def _client_rx_loop(self):
+        while True:
+            message = yield self.client.inbox.get()
+            self.env.process(self._deliver(message))
+
+    def _deliver(self, message: Message):
+        yield from self._hold(self.client_stack,
+                              self.params.network.dpdk_stack_ns)
+        response: TraversalRequest = message.payload
+        waiter = self._waiters.pop(response.request_id, None)
+        if waiter is not None:
+            waiter.succeed(response)
+
+    def traverse(self, iterator: PulseIterator, *args):
+        start = self.env.now
+        cur_ptr, scratch = iterator.init(*args)
+        self._counter += 1
+        request = TraversalRequest(
+            request_id=(0, self._counter),
+            program=iterator.program,
+            cur_ptr=cur_ptr,
+            scratch=bytes(scratch),
+            issued_at_ns=start,
+        )
+        while True:
+            response = yield from self._send_to_owner(request)
+            if response.status in (RequestStatus.DONE,
+                                   RequestStatus.FAULT):
+                break
+            # RUNNING (left the node) or ITER_LIMIT: client continues it.
+            self._counter += 1
+            request = TraversalRequest(
+                request_id=(0, self._counter),
+                program=response.program,
+                cur_ptr=response.cur_ptr,
+                scratch=response.scratch,
+                iterations_done=response.iterations_done,
+                issued_at_ns=start,
+                node_hops=response.node_hops,
+            )
+
+        faulted = response.status is RequestStatus.FAULT
+        result = TraversalResult(
+            value=None if faulted else iterator.finalize(response.scratch),
+            iterations=response.iterations_done,
+            latency_ns=self.env.now - start,
+            offloaded=True,
+            hops=response.node_hops,
+            faulted=faulted,
+            fault_reason=response.fault_reason,
+        )
+        self.completed.append(result)
+        return result
+
+    def _send_to_owner(self, request: TraversalRequest):
+        owner = self.memory.addrspace.node_of(request.cur_ptr)
+        if owner is None:
+            return request.advanced(
+                request.cur_ptr, request.scratch, 0,
+                RequestStatus.FAULT,
+                f"client: unroutable pointer {request.cur_ptr:#x}")
+        waiter = self.env.event()
+        self._waiters[request.request_id] = waiter
+        yield from self._hold(self.client_stack,
+                              self.params.network.dpdk_stack_ns)
+        self.fabric.send(Message(
+            kind=RPC_KIND, src="client0", dst=f"mem{owner}",
+            size_bytes=request.wire_bytes(), payload=request))
+        response = yield waiter
+        return response
+
+    # -- observability ------------------------------------------------------------
+    def memory_bandwidth_utilization(self, duration_ns: float) -> float:
+        if duration_ns <= 0:
+            return 0.0
+        cap = self.params.memory.bandwidth_bytes_per_ns
+        per_node = [s.stats.bytes_loaded / duration_ns / cap
+                    for s in self.servers]
+        return sum(per_node) / len(per_node)
+
+    def network_bandwidth_utilization(self, duration_ns: float) -> float:
+        if duration_ns <= 0:
+            return 0.0
+        peak = max(self.client.tx_bytes, self.client.rx_bytes)
+        return peak / (duration_ns * self.params.network.link_bytes_per_ns)

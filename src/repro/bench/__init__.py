@@ -1,0 +1,10 @@
+"""Experiment harness: workload driving, metrics, and table formatting.
+
+Import :mod:`repro.bench.experiments` directly for the figure harness --
+it is not re-exported here to keep this package importable from
+:mod:`repro.core` (the cluster uses the workload driver) without a cycle.
+"""
+
+from repro.bench.driver import WorkloadStats, run_workload
+
+__all__ = ["WorkloadStats", "run_workload"]

@@ -1,0 +1,107 @@
+"""System-agnostic workload driver.
+
+Every system in the repo -- pulse and all four baselines -- exposes the
+same narrow interface: an ``env`` (simulation environment) and a
+``traverse(iterator, *args)`` generator that completes one operation.
+This driver runs a closed-loop experiment against any of them:
+``concurrency`` workers each repeatedly issue the next operation from the
+list, mirroring the paper's load generator.  Latency is per-operation;
+throughput is completions over the measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.iterator import TraversalResult
+
+
+@dataclass
+class WorkloadStats:
+    """Everything the figures need from one run."""
+
+    completed: int
+    duration_ns: float
+    latencies_ns: List[float]
+    faults: int
+    total_hops: int
+    results: List[TraversalResult] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.completed / (self.duration_ns / 1e9)
+
+    @property
+    def avg_latency_ns(self) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        return sum(self.latencies_ns) / len(self.latencies_ns)
+
+    def percentile_latency_ns(self, percentile: float) -> float:
+        if not self.latencies_ns:
+            return 0.0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1,
+                    int(round(percentile / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def avg_iterations(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.iterations for r in self.results) / len(self.results)
+
+    @property
+    def inter_node_fraction(self) -> float:
+        """Fraction of operations that crossed memory nodes at least once."""
+        if not self.results:
+            return 0.0
+        crossed = sum(1 for r in self.results if r.hops > 0)
+        return crossed / len(self.results)
+
+
+def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
+                 concurrency: int = 8,
+                 warmup: int = 0) -> WorkloadStats:
+    """Drive ``operations`` through ``system`` with closed-loop workers.
+
+    ``operations`` is a sequence of ``(iterator, args)`` pairs.  The first
+    ``warmup`` completions are excluded from latency/throughput (caches
+    and pipelines fill during warmup).  The simulation runs until every
+    operation completes.
+    """
+    env = system.env
+    results: List[Optional[TraversalResult]] = [None] * len(operations)
+    cursor = {"next": 0}
+    measure_start = {"t": None}
+
+    def worker():
+        while True:
+            index = cursor["next"]
+            if index >= len(operations):
+                return
+            cursor["next"] = index + 1
+            if index == warmup:
+                measure_start["t"] = env.now
+            iterator, args = operations[index]
+            result = yield from system.traverse(iterator, *args)
+            results[index] = result
+
+    workers = [env.process(worker())
+               for _ in range(max(1, min(concurrency, len(operations))))]
+    done = env.all_of(workers)
+    env.run(until=done)
+
+    measured = [r for r in results[warmup:] if r is not None]
+    start = measure_start["t"] if measure_start["t"] is not None else 0.0
+    return WorkloadStats(
+        completed=len(measured),
+        duration_ns=env.now - start,
+        latencies_ns=[r.latency_ns for r in measured],
+        faults=sum(1 for r in measured if r.faulted),
+        total_hops=sum(r.hops for r in measured),
+        results=measured,
+    )

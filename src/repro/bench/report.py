@@ -1,0 +1,115 @@
+"""Assemble the per-figure result tables into one markdown report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one text table per figure
+under ``benchmarks/results/``; this module stitches them into a single
+document (with the paper reference for each), so a full reproduction run
+ends with one artifact to read::
+
+    python -m repro.bench.report [results_dir] [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: figure order + captions; files are <key>.txt in the results dir
+SECTIONS: List[Tuple[str, str, str]] = [
+    ("table2_workloads", "Table 2 — workload characteristics",
+     "η (compute/memory ratio) and average iterations per request."),
+    ("fig4_latency", "Fig 4 — application latency",
+     "Average/p99 latency per system, workload, and node count."),
+    ("fig5_throughput", "Fig 5 — application throughput",
+     "Saturating-load throughput and memory-bandwidth utilization."),
+    ("fig6_bandwidth", "Fig 6 — bandwidth utilization",
+     "Memory vs network bandwidth under saturating load."),
+    ("fig7_energy", "Fig 7 — energy per request",
+     "Serving power, throughput, and energy at saturation."),
+    ("fig8_acc", "Fig 8 — in-switch routing vs pulse-ACC",
+     "Latency and throughput with and without switch re-routing."),
+    ("fig9_breakdown", "Fig 9 — accelerator latency breakdown",
+     "Per-component times inside the accelerator."),
+    ("supp_fig1a_length", "Supp Fig 1a — traversal length",
+     "Latency vs linked-list hops (linear)."),
+    ("supp_fig1b_cores", "Supp Fig 1b — cores vs bandwidth",
+     "Memory bandwidth achieved per core count."),
+    ("supp_fig2_allocation", "Supp Fig 2 — allocation policy",
+     "Partitioned vs uniform placement on two nodes."),
+    ("ablation_load_agg", "Ablation — aggregated LOAD (§4.1)",
+     "Single covering load vs naive per-field loads."),
+    ("ablation_pipelines", "Ablation — core organization (Fig 3)",
+     "Workspaces and logic pipelines vs throughput."),
+    ("sensitivity_eta_max", "Sensitivity — offload threshold η_max",
+     "The offload/reject cliff."),
+    ("sensitivity_max_iter", "Sensitivity — iteration budget",
+     "Continuation cost of small MAX_ITER."),
+    ("sensitivity_network", "Sensitivity — network latency (§1)",
+     "Per-hop vs per-request wire cost as segments lengthen."),
+    ("ext_multitenancy", "Extension — multi-tenant scheduling (Supp B)",
+     "FIFO vs fair workspace scheduling under a scan flood."),
+    ("ext_locality", "Extension — access-locality sensitivity (§2.1)",
+     "Uniform vs Zipfian key skew for caching vs offloading."),
+]
+
+
+def collect(results_dir: Path) -> Dict[str, str]:
+    """Read every known results table that exists."""
+    tables = {}
+    for key, _title, _caption in SECTIONS:
+        path = results_dir / f"{key}.txt"
+        if path.exists():
+            tables[key] = path.read_text().rstrip()
+    return tables
+
+
+def render(results_dir: Path) -> str:
+    """The full markdown report (missing figures are noted, not fatal)."""
+    tables = collect(results_dir)
+    lines = [
+        "# pulse — reproduction report",
+        "",
+        "Generated from the tables under "
+        f"`{results_dir}`; regenerate with "
+        "`pytest benchmarks/ --benchmark-only`. Paper-vs-measured "
+        "commentary lives in EXPERIMENTS.md.",
+        "",
+    ]
+    for key, title, caption in SECTIONS:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append(caption)
+        lines.append("")
+        if key in tables:
+            lines.append("```")
+            lines.append(tables[key])
+            lines.append("```")
+        else:
+            lines.append(f"*not yet generated "
+                         f"(run benchmarks/test_{key.split('_')[0]}*)*")
+        lines.append("")
+    missing = [key for key, _t, _c in SECTIONS if key not in tables]
+    if missing:
+        lines.append(f"Missing {len(missing)} of {len(SECTIONS)} "
+                     f"tables: {', '.join(missing)}.")
+    else:
+        lines.append(f"All {len(SECTIONS)} tables present.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = Path(args[0]) if args else \
+        Path("benchmarks") / "results"
+    report = render(results_dir)
+    if len(args) > 1:
+        Path(args[1]).write_text(report)
+        print(f"wrote {args[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

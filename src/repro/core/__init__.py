@@ -1,0 +1,37 @@
+"""pulse core: the paper's contribution.
+
+* :mod:`~repro.core.iterator` -- the developer-facing iterator abstraction
+  (init/next/end + scratch pad, section 3).
+* :mod:`~repro.core.kernel` -- the kernel builder that plays the role of
+  the offload engine's compiler, including aggregated-LOAD inference
+  (section 4.1).
+* :mod:`~repro.core.offload` -- offload decision + request construction.
+* :mod:`~repro.core.accelerator` -- the SmartNIC accelerator model:
+  network stack, scheduler, cores with decoupled memory/logic pipelines
+  (section 4.2).
+* :mod:`~repro.core.switch` -- in-network routing of traversal requests by
+  cur_ptr (section 5).
+* :mod:`~repro.core.cluster` / :mod:`~repro.core.client` -- rack assembly
+  and the CPU-node client.
+"""
+
+from repro.core.iterator import PulseIterator, TraversalResult
+from repro.core.kernel import KernelBuilder
+from repro.core.frontend import NEXT, RETURN, compile_kernel
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.offload import OffloadDecision, OffloadEngine
+from repro.core.cluster import PulseCluster
+
+__all__ = [
+    "KernelBuilder",
+    "TraversalResult",
+    "NEXT",
+    "OffloadDecision",
+    "OffloadEngine",
+    "PulseCluster",
+    "PulseIterator",
+    "RETURN",
+    "RequestStatus",
+    "TraversalRequest",
+    "compile_kernel",
+]

@@ -1,0 +1,312 @@
+"""The pulse accelerator at a memory node (section 4.2).
+
+One accelerator models the FPGA SmartNIC in front of one memory node:
+
+* a **network stack** (rx and tx units, 430 ns per message each way) that
+  parses/deparses traversal requests;
+* a **scheduler** (4 ns dispatch) assigning requests to cores;
+* **cores**, each a memory access pipeline plus ``eta`` logic pipelines
+  with a bounded set of workspaces (concurrent in-flight iterators);
+* a shared **interconnect** in front of DRAM capping node bandwidth (the
+  vendor IP the supplementary material measures at 25 GB/s, or 34 GB/s
+  when bypassed).
+
+Execution of a request alternates memory and logic phases per iteration,
+exactly the decoupled-pipeline structure of Fig 2/3: the memory pipeline
+is held only for its occupancy (translation + burst transfer) so multiple
+workspaces keep it saturated, while the logic pipelines charge one FPGA
+cycle per ISA instruction.
+
+Functional behaviour is real: the same
+:class:`~repro.isa.interpreter.IteratorMachine` the tests validate runs
+here over the node's actual bytes, and a translation miss -- a pointer
+owned by a *different* node -- produces a RUNNING response that the switch
+re-routes (section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.scheduling import FairWorkspacePool, FifoWorkspacePool
+from repro.isa.instructions import ExecutionFault, wrap64
+from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.mem.node import MemoryNode
+from repro.mem.translation import ProtectionFault
+from repro.params import SystemParams
+from repro.sim.engine import Environment
+from repro.sim.network import Fabric, Message
+from repro.sim.resources import Resource
+from repro.sim.trace import NullTracer
+
+#: message kind tag for pulse traversal traffic
+PULSE_KIND = "pulse"
+
+
+@dataclass
+class AcceleratorStats:
+    """Aggregate phase times; Fig 9's breakdown divides these by counts."""
+
+    requests: int = 0
+    responses: int = 0
+    iterations: int = 0
+    rerouted: int = 0
+    faults: int = 0
+    netstack_ns: float = 0.0
+    dispatch_ns: float = 0.0
+    memory_ns: float = 0.0
+    logic_ns: float = 0.0
+    bytes_loaded: int = 0
+    instructions: int = 0
+
+    def per_iteration_memory_ns(self) -> float:
+        return self.memory_ns / self.iterations if self.iterations else 0.0
+
+    def per_iteration_logic_ns(self) -> float:
+        return self.logic_ns / self.iterations if self.iterations else 0.0
+
+    def per_message_netstack_ns(self) -> float:
+        messages = self.requests + self.responses
+        return self.netstack_ns / messages if messages else 0.0
+
+    def per_request_dispatch_ns(self) -> float:
+        return self.dispatch_ns / self.requests if self.requests else 0.0
+
+
+class AcceleratorCore:
+    """One core: a memory access pipeline + logic pipelines."""
+
+    def __init__(self, env: Environment, core_id: int,
+                 logic_pipelines: int):
+        self.core_id = core_id
+        self.memory_pipeline = Resource(env, capacity=1)
+        self.logic_pipeline = Resource(env, capacity=logic_pipelines)
+
+
+class Accelerator:
+    """The SmartNIC accelerator serving one memory node."""
+
+    def __init__(self, env: Environment, node: MemoryNode, fabric: Fabric,
+                 params: SystemParams, switch_name: str = "switch",
+                 cores: Optional[int] = None,
+                 shared_interconnect: bool = True,
+                 split_loads: bool = False,
+                 scheduler_policy: str = "fifo",
+                 tracer=None):
+        self.env = env
+        self.node = node
+        self.fabric = fabric
+        self.params = params
+        self.switch_name = switch_name
+        self.name = node.name
+        acc = params.accelerator
+        core_count = cores if cores is not None else acc.cores
+        if core_count < 1:
+            raise ValueError("accelerator needs at least one core")
+
+        self.endpoint = fabric.register(self.name)
+        self.cores: List[AcceleratorCore] = [
+            AcceleratorCore(env, i, acc.logic_pipelines_per_core)
+            for i in range(core_count)
+        ]
+        # Workspace tokens: the scheduler hands an incoming request to a
+        # core with a free workspace; requests beyond capacity queue in
+        # the policy's structure (section 4.2.3 / Supp B).
+        tokens = [core.core_id for core in self.cores
+                  for _ in range(acc.workspaces_per_core)]
+        if scheduler_policy == "fifo":
+            self.workspaces = FifoWorkspacePool(env, tokens)
+        elif scheduler_policy == "fair":
+            self.workspaces = FairWorkspacePool(env, tokens)
+        else:
+            raise ValueError(
+                f"unknown scheduler policy {scheduler_policy!r}")
+        self.scheduler_policy = scheduler_policy
+        self.rx_unit = Resource(env, capacity=1)
+        self.tx_unit = Resource(env, capacity=1)
+        self.scheduler_unit = Resource(env, capacity=1)
+        #: vendor interconnect IP shared by all cores (None = bypassed,
+        #: each core keeps its dedicated channel; Supp Fig 1b)
+        self.interconnect: Optional[Resource] = (
+            Resource(env, capacity=1) if shared_interconnect else None)
+        self.node_bandwidth = params.memory.bandwidth_bytes_per_ns
+        #: ablation: charge each distinct field access as its own load
+        #: instead of the offload engine's single aggregated LOAD (§4.1)
+        self.split_loads = split_loads
+
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.stats = AcceleratorStats()
+        env.process(self._rx_loop())
+
+    # -- processes ----------------------------------------------------------
+    def _rx_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            self.env.process(self._handle(message))
+
+    def _handle(self, message: Message):
+        request: TraversalRequest = message.payload
+        acc = self.params.accelerator
+
+        yield from self._hold(self.rx_unit, acc.netstack_occupancy_ns)
+        yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
+        self.stats.netstack_ns += acc.netstack_ns
+        self.stats.requests += 1
+
+        yield from self._hold(self.scheduler_unit,
+                              acc.scheduler_dispatch_ns)
+        self.stats.dispatch_ns += acc.scheduler_dispatch_ns
+
+        self.tracer.record(self.name, "rx", request.request_id,
+                           cur_ptr=hex(request.cur_ptr))
+        core_id = yield self.workspaces.acquire(request.tenant)
+        core = self.cores[core_id]
+        try:
+            response = yield from self._execute(core, request)
+        finally:
+            self.workspaces.release(core_id)
+        self.tracer.record(self.name, "execute", request.request_id,
+                           core=core_id,
+                           iterations=(response.iterations_done
+                                       - request.iterations_done),
+                           status=response.status.value)
+
+        yield from self._hold(self.tx_unit, acc.netstack_occupancy_ns)
+        yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
+        self.stats.netstack_ns += acc.netstack_ns
+        self.stats.responses += 1
+        self.fabric.send(Message(
+            kind=PULSE_KIND,
+            src=self.name,
+            dst=self.switch_name,
+            size_bytes=response.wire_bytes(),
+            payload=response,
+        ), segments=1)
+
+    def _execute(self, core: AcceleratorCore, request: TraversalRequest):
+        """Run iterations until done, rerouted, faulted, or out of budget."""
+        acc = self.params.accelerator
+        program = request.program
+        window_offset, window_size = program.load_window
+
+        machine = IteratorMachine(program)
+        try:
+            machine.reset(request.cur_ptr, request.scratch)
+        except ExecutionFault as exc:
+            return request.advanced(request.cur_ptr, request.scratch, 0,
+                                    RequestStatus.FAULT, str(exc))
+
+        iterations = 0
+        while True:
+            load_addr = wrap64(machine.cur_ptr + window_offset)
+            entry = self.node.table.lookup(load_addr, window_size)
+            if entry is None:
+                return self._miss_response(machine, request, iterations,
+                                           load_addr)
+
+            # Memory phase: pipeline occupancy, interconnect share, then
+            # the latency tail (overlapped with other workspaces).
+            if self.split_loads:
+                loads = program.naive_load_runs()
+            else:
+                loads = [(0, window_size)]
+            for _offset, load_bytes in loads:
+                occupancy = acc.occupancy_ns(load_bytes)
+                yield from self._hold(core.memory_pipeline, occupancy)
+                interconnect_ns = 0.0
+                if self.interconnect is not None:
+                    interconnect_ns = load_bytes / self.node_bandwidth
+                    yield from self._hold(self.interconnect,
+                                          interconnect_ns)
+                yield self.env.timeout(acc.dram_latency_ns)
+                self.stats.memory_ns += (occupancy + interconnect_ns
+                                         + acc.dram_latency_ns)
+
+            try:
+                step = machine.run_iteration(
+                    self._read_fn(entry), self._write_fn())
+            except (ExecutionFault, ProtectionFault) as exc:
+                self.stats.faults += 1
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.FAULT, str(exc))
+
+            iterations += 1
+            self.stats.iterations += 1
+            self.stats.bytes_loaded += step.load_bytes
+            self.stats.instructions += step.instructions_executed
+
+            # Logic phase: one FPGA cycle per executed logic instruction.
+            # The datapath is pipelined: it is *occupied* for only
+            # t_c/depth (another workspace's iteration can enter), while
+            # this request still waits out the full t_c latency.
+            logic_ns = (step.instructions_executed - 1) * acc.instruction_ns
+            occupancy = logic_ns / acc.logic_pipeline_depth
+            yield from self._hold(core.logic_pipeline, occupancy)
+            yield self.env.timeout(logic_ns - occupancy)
+            self.stats.logic_ns += logic_ns
+
+            if step.outcome is IterationOutcome.DONE:
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.DONE)
+            if request.iterations_done + iterations >= acc.max_iterations:
+                return request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.ITER_LIMIT)
+
+    def _miss_response(self, machine: IteratorMachine,
+                       request: TraversalRequest, iterations: int,
+                       load_addr: int) -> TraversalRequest:
+        """Translation miss: re-route if another node owns the pointer."""
+        owner = self.node.addrspace.node_of(load_addr)
+        if owner is not None and owner != self.node.node_id:
+            self.stats.rerouted += 1
+            response = request.advanced(
+                machine.cur_ptr, bytes(machine.scratch), iterations,
+                RequestStatus.RUNNING)
+            response.node_hops = request.node_hops + 1
+            return response
+        self.stats.faults += 1
+        return request.advanced(
+            machine.cur_ptr, bytes(machine.scratch), iterations,
+            RequestStatus.FAULT,
+            f"invalid pointer {load_addr:#x}")
+
+    # -- helpers -------------------------------------------------------------
+    def _read_fn(self, entry):
+        memory = self.node.memory
+
+        def read(vaddr: int, size: int) -> bytes:
+            return memory.read(entry.translate(vaddr), size)
+
+        return read
+
+    def _write_fn(self):
+        return self.node.write_virt
+
+    def _hold(self, resource: Resource, duration: float):
+        grant = resource.request()
+        yield grant
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            resource.release(grant)
+
+    # -- observability ---------------------------------------------------------
+    def memory_pipeline_utilization(self, elapsed: Optional[float] = None
+                                    ) -> float:
+        """Mean utilization across cores' memory pipelines."""
+        values = [c.memory_pipeline.utilization(elapsed)
+                  for c in self.cores]
+        return sum(values) / len(values)
+
+    def memory_bandwidth_used(self, elapsed: Optional[float] = None
+                              ) -> float:
+        """Bytes/ns of DRAM traffic served by this accelerator."""
+        window = elapsed if elapsed is not None else self.env.now
+        if window <= 0:
+            return 0.0
+        return self.stats.bytes_loaded / window

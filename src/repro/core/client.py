@@ -1,0 +1,212 @@
+"""The CPU-node client: issues traversal requests and handles responses.
+
+Implements the CPU-node side of section 4.1: DPDK-style userspace
+networking (a per-message stack cost on a small pool of stack cores),
+request ids, retransmission timers, ITER_LIMIT continuations, and the
+local fallback path for programs the offload engine rejects (those run at
+the CPU node with plain remote reads -- each iteration pays a full network
+round trip, which is exactly why offloading wins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.accelerator import PULSE_KIND
+from repro.core.iterator import PulseIterator, TraversalResult
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.offload import OffloadEngine
+from repro.isa.instructions import ExecutionFault, wrap64
+from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.mem.node import GlobalMemory
+from repro.mem.translation import TranslationFault
+from repro.params import SystemParams
+from repro.sim.engine import Environment, Event
+from repro.sim.network import Fabric, Message
+from repro.sim.resources import Resource
+from repro.sim.trace import NullTracer
+
+#: give up after this many retransmissions of one request
+MAX_RETRIES = 16
+
+
+class RequestLost(Exception):
+    """All retransmission attempts exhausted."""
+
+
+class PulseClient:
+    """One CPU node driving traversals through the pulse rack."""
+
+    def __init__(self, env: Environment, fabric: Fabric,
+                 params: SystemParams, engine: OffloadEngine,
+                 memory: GlobalMemory, name: str = "client0",
+                 switch_name: str = "switch", stack_cores: int = 8,
+                 tracer=None):
+        self.env = env
+        self.fabric = fabric
+        self.params = params
+        self.engine = engine
+        self.memory = memory
+        self.name = name
+        self.switch_name = switch_name
+        self.endpoint = fabric.register(name)
+        #: DPDK stack cores: every message send/receive occupies one
+        self.stack_unit = Resource(env, capacity=stack_cores)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._waiters: Dict[tuple, Event] = {}
+        self.retransmissions = 0
+        self.completed: List[TraversalResult] = []
+        env.process(self._rx_loop())
+
+    # -- receive path ---------------------------------------------------------
+    def _rx_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            self.env.process(self._deliver(message))
+
+    def _deliver(self, message: Message):
+        yield from self._hold_stack()
+        response: TraversalRequest = message.payload
+        waiter = self._waiters.pop(response.request_id, None)
+        if waiter is not None:
+            # Late duplicates (after a retransmission) find no waiter and
+            # are dropped, like any UDP duplicate.
+            waiter.succeed(response)
+
+    # -- submit path ------------------------------------------------------------
+    def traverse(self, iterator: PulseIterator, *args):
+        """Process: run one traversal; returns a TraversalResult."""
+        start = self.env.now
+        decision = self.engine.decide(iterator.program)
+        if not decision.offload:
+            result = yield from self._execute_local(iterator, args, start)
+            self.completed.append(result)
+            return result
+
+        request = self.engine.make_request(iterator, *args,
+                                           issued_at_ns=start)
+        self.tracer.record(self.name, "issue", request.request_id,
+                           program=request.program.name)
+        response = yield from self._send_and_wait(request)
+        while response.status in (RequestStatus.ITER_LIMIT,
+                                  RequestStatus.RUNNING):
+            # ITER_LIMIT: section 3.1 continuation after the accelerator's
+            # per-request budget.  RUNNING: only in pulse-ACC mode, where
+            # inter-node hops bounce through this CPU node (Fig 8).
+            request = self.engine.continuation(response, self.env.now)
+            response = yield from self._send_and_wait(request)
+
+        faulted = response.status is RequestStatus.FAULT
+        result = TraversalResult(
+            value=None if faulted else iterator.finalize(response.scratch),
+            iterations=response.iterations_done,
+            latency_ns=self.env.now - start,
+            offloaded=True,
+            hops=response.node_hops,
+            faulted=faulted,
+            fault_reason=response.fault_reason,
+        )
+        self.tracer.record(self.name, "complete", response.request_id,
+                           status=response.status.value,
+                           iterations=response.iterations_done,
+                           hops=response.node_hops)
+        self.completed.append(result)
+        return result
+
+    def _send_and_wait(self, request: TraversalRequest):
+        waiter = self.env.event()
+        self._waiters[request.request_id] = waiter
+        attempts = 0
+        while True:
+            yield from self._hold_stack()
+            self.fabric.send(Message(
+                kind=PULSE_KIND,
+                src=self.name,
+                dst=self.switch_name,
+                size_bytes=request.wire_bytes(),
+                payload=request,
+            ), segments=1)
+            timer = self.env.timeout(
+                self.params.network.retransmit_timeout_ns)
+            yield self.env.any_of([waiter, timer])
+            if waiter.processed:
+                return waiter.value
+            attempts += 1
+            self.retransmissions += 1
+            self.tracer.record(self.name, "retransmit",
+                               request.request_id, attempt=attempts)
+            request.attempt = attempts
+            if attempts > MAX_RETRIES:
+                self._waiters.pop(request.request_id, None)
+                raise RequestLost(
+                    f"request {request.request_id} lost after "
+                    f"{attempts} attempts")
+
+    # -- local fallback -----------------------------------------------------------
+    def _execute_local(self, iterator: PulseIterator, args, start: float):
+        """Run a rejected program at the CPU node with remote reads.
+
+        Every iteration's aggregated load becomes a one-sided remote read
+        (client stack + round trip + accelerator netstack and memory
+        pipeline); the logic runs at CPU speed.  No caching here -- the
+        Cache-based baseline models that separately.
+        """
+        net = self.params.network
+        acc = self.params.accelerator
+        cpu = self.params.cpu
+
+        cur_ptr, scratch = iterator.init(*args)
+        machine = IteratorMachine(iterator.program)
+        machine.reset(cur_ptr, scratch)
+        window_offset, window_size = iterator.program.load_window
+
+        iterations = 0
+        faulted = False
+        fault_reason = ""
+        while True:
+            # Remote read round trip for this iteration's window.
+            yield from self._hold_stack()
+            round_trip = (4 * net.segment_ns
+                          + 2 * net.switch_process_ns
+                          + 2 * acc.netstack_ns
+                          + acc.memory_access_ns(window_size)
+                          + window_size / net.link_bytes_per_ns)
+            yield self.env.timeout(round_trip)
+            yield from self._hold_stack()
+
+            try:
+                read_addr = wrap64(machine.cur_ptr + window_offset)
+                self.memory.read(read_addr, window_size)  # validity check
+                step = machine.run_iteration(self.memory.read,
+                                             self.memory.write)
+            except (ExecutionFault, TranslationFault) as exc:
+                faulted = True
+                fault_reason = str(exc)
+                break
+            iterations += 1
+            yield self.env.timeout(
+                step.instructions_executed * cpu.instruction_ns())
+            if step.outcome is IterationOutcome.DONE:
+                break
+            if iterations >= acc.max_iterations:
+                faulted = True
+                fault_reason = "local execution exceeded iteration budget"
+                break
+
+        return TraversalResult(
+            value=(None if faulted
+                   else iterator.finalize(bytes(machine.scratch))),
+            iterations=iterations,
+            latency_ns=self.env.now - start,
+            offloaded=False,
+            faulted=faulted,
+            fault_reason=fault_reason,
+        )
+
+    def _hold_stack(self):
+        grant = self.stack_unit.request()
+        yield grant
+        try:
+            yield self.env.timeout(self.params.network.dpdk_stack_ns)
+        finally:
+            self.stack_unit.release(grant)

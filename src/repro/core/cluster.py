@@ -1,0 +1,142 @@
+"""Rack assembly: wire the client, switch, memory nodes, and accelerators.
+
+:class:`PulseCluster` is the top-level entry point of the library::
+
+    cluster = PulseCluster(node_count=2)
+    table = HashTable(cluster.memory, buckets=1024)   # built functionally
+    table.insert(42, b"value")
+    result = cluster.run_traversal(table.find_iterator(), 42)
+
+Data structures are built directly against :class:`~repro.mem.node.
+GlobalMemory` (zero simulated time -- setup is not what the paper
+measures); traversals then run through the full timed pipeline: client
+DPDK stack -> switch routing -> accelerator netstack/scheduler/pipelines
+-> (possible in-switch re-routes) -> back to the client.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.driver import WorkloadStats, run_workload
+from repro.core.accelerator import Accelerator
+from repro.core.client import PulseClient
+from repro.core.iterator import PulseIterator, TraversalResult
+from repro.core.offload import OffloadEngine
+from repro.core.switch import PulseSwitch
+from repro.mem.allocator import PlacementPolicy
+from repro.mem.node import GlobalMemory
+from repro.params import DEFAULT_PARAMS, SystemParams
+from repro.sim.engine import Environment
+from repro.sim.network import Fabric
+from repro.sim.trace import NullTracer, Tracer
+
+
+class PulseCluster:
+    """A simulated rack running pulse."""
+
+    def __init__(self, node_count: int = 1,
+                 params: Optional[SystemParams] = None,
+                 policy: PlacementPolicy = PlacementPolicy.UNIFORM,
+                 node_capacity: Optional[int] = None,
+                 bounce_to_client: bool = False,
+                 cores_per_accelerator: Optional[int] = None,
+                 shared_interconnect: bool = True,
+                 split_loads: bool = False,
+                 scheduler_policy: str = "fifo",
+                 tcam_capacity: int = 1024,
+                 client_count: int = 1,
+                 trace: bool = False,
+                 seed: int = 0):
+        self.params = params if params is not None else DEFAULT_PARAMS
+        self.env = Environment()
+        self.fabric = Fabric(self.env, self.params.network, seed=seed)
+        capacity = (node_capacity if node_capacity is not None
+                    else self.params.memory.node_capacity_bytes)
+        self.memory = GlobalMemory(node_count, capacity, policy,
+                                   tcam_capacity)
+        self.tracer = (Tracer(self.env) if trace
+                       else NullTracer())
+        self.switch = PulseSwitch(self.env, self.fabric,
+                                  self.memory.addrspace, self.params,
+                                  bounce_to_client=bounce_to_client,
+                                  tracer=self.tracer)
+        self.accelerators: List[Accelerator] = [
+            Accelerator(self.env, node, self.fabric, self.params,
+                        cores=cores_per_accelerator,
+                        shared_interconnect=shared_interconnect,
+                        split_loads=split_loads,
+                        scheduler_policy=scheduler_policy,
+                        tracer=self.tracer)
+            for node in self.memory.nodes
+        ]
+        if client_count < 1:
+            raise ValueError("need at least one CPU node")
+        self.engines: List[OffloadEngine] = [
+            OffloadEngine(self.params.accelerator, client_id=i)
+            for i in range(client_count)
+        ]
+        self.clients: List[PulseClient] = [
+            PulseClient(self.env, self.fabric, self.params,
+                        self.engines[i], self.memory,
+                        name=f"client{i}", tracer=self.tracer)
+            for i in range(client_count)
+        ]
+        # Back-compat single-client accessors.
+        self.engine = self.engines[0]
+        self.client = self.clients[0]
+        self._next_client = 0
+
+    @property
+    def node_count(self) -> int:
+        return self.memory.node_count
+
+    # -- running work -----------------------------------------------------------
+    def traverse(self, iterator: PulseIterator, *args):
+        """Generator interface used by the workload driver.
+
+        With multiple CPU nodes, successive calls round-robin across
+        them, so concurrent workers naturally spread over the clients.
+        """
+        client = self.clients[self._next_client]
+        self._next_client = (self._next_client + 1) % len(self.clients)
+        result = yield from client.traverse(iterator, *args)
+        return result
+
+    def run_traversal(self, iterator: PulseIterator,
+                      *args) -> TraversalResult:
+        """Convenience: run one traversal to completion synchronously."""
+        process = self.env.process(self.client.traverse(iterator, *args))
+        return self.env.run(until=process)
+
+    def run_workload(self, operations: Sequence[Tuple[PulseIterator, tuple]],
+                     concurrency: int = 8,
+                     warmup: int = 0) -> WorkloadStats:
+        return run_workload(self, operations, concurrency, warmup)
+
+    # -- observability ------------------------------------------------------------
+    def memory_bandwidth_utilization(self, duration_ns: float) -> float:
+        """Mean fraction of the per-node bandwidth cap used, for Fig 6."""
+        if duration_ns <= 0:
+            return 0.0
+        cap = self.params.memory.bandwidth_bytes_per_ns
+        per_node = [
+            acc.stats.bytes_loaded / duration_ns / cap
+            for acc in self.accelerators
+        ]
+        return sum(per_node) / len(per_node)
+
+    def network_bandwidth_utilization(self, duration_ns: float) -> float:
+        """Busiest client link's utilization, for Fig 6."""
+        if duration_ns <= 0:
+            return 0.0
+        peak_bytes = max(
+            max(c.endpoint.tx_bytes, c.endpoint.rx_bytes)
+            for c in self.clients)
+        return peak_bytes / (duration_ns
+                             * self.params.network.link_bytes_per_ns)
+
+    def reset_counters(self) -> None:
+        self.memory.reset_counters()
+        for acc in self.accelerators:
+            acc.stats = type(acc.stats)()

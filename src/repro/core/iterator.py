@@ -1,0 +1,82 @@
+"""The pulse iterator abstraction (section 3).
+
+A data-structure developer ports an operation by providing:
+
+* ``program`` -- the compiled ``next()``/``end()`` logic as a pulse ISA
+  :class:`~repro.isa.program.Program` (usually produced with
+  :class:`~repro.core.kernel.KernelBuilder`);
+* :meth:`PulseIterator.init` -- data-structure-specific Python that runs
+  on the CPU node and produces the start pointer and initial scratch pad
+  (e.g. the hash-bucket head and the search key);
+* :meth:`PulseIterator.finalize` -- decodes the returned scratch pad into
+  the operation's result.
+
+This mirrors the paper's Listing 1: ``init()`` executes at the CPU node
+while ``next()``/``end()`` (here: the program) execute wherever the
+offload engine decides -- accelerator, memory-node CPU (RPC baselines), or
+the CPU node itself with remote reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.isa.program import Program
+
+
+@dataclass
+class TraversalResult:
+    """What the client hands back to the application."""
+
+    value: Any
+    iterations: int
+    latency_ns: float = 0.0
+    offloaded: bool = True
+    hops: int = 0               # inter-memory-node continuations
+    faulted: bool = False
+    fault_reason: str = ""
+
+
+class PulseIterator:
+    """Base class for offloadable pointer traversals."""
+
+    #: compiled next()/end() logic; subclasses must set this
+    program: Program = None
+
+    def init(self, *args) -> Tuple[int, bytes]:
+        """CPU-node setup: returns (start cur_ptr, initial scratch bytes).
+
+        Runs on the CPU node with full Python expressiveness -- the paper
+        allows arbitrary logic here (e.g. computing a hash to pick the
+        bucket) because it is not offloaded.
+        """
+        raise NotImplementedError
+
+    def finalize(self, scratch: bytes) -> Any:
+        """Decode the scratch pad returned by the traversal."""
+        raise NotImplementedError
+
+    # -- conveniences --------------------------------------------------------
+    def run_functional(self, read_fn, *args, max_iterations: int = 4096,
+                       write_fn=None) -> TraversalResult:
+        """Execute the full traversal with zero simulated time.
+
+        This is the reference path used by tests to check that offloaded
+        executions (accelerator, RPC, cache) all compute the same answer.
+        """
+        from repro.isa.interpreter import IteratorMachine
+
+        if self.program is None:
+            raise TypeError(
+                f"{type(self).__name__} does not define a program")
+        cur_ptr, scratch = self.init(*args)
+        machine = IteratorMachine(self.program)
+        machine.reset(cur_ptr, scratch)
+        out = machine.run(read_fn, write_fn=write_fn,
+                          max_iterations=max_iterations)
+        return TraversalResult(
+            value=self.finalize(out),
+            iterations=machine.iterations,
+            offloaded=False,
+        )

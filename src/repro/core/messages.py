@@ -1,0 +1,83 @@
+"""Traversal request/response wire format (sections 4.1, 4.2.4, 5).
+
+pulse deliberately uses *one* format for requests and responses: a message
+carries the compiled program, cur_ptr, and the scratch pad.  That is what
+makes distributed continuation trivial -- when a traversal's next pointer
+lives on another memory node, the accelerator emits the very same message
+shape and the switch forwards it onward (section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.isa.program import Program
+
+#: fixed header: request id, status, iteration counter, cur_ptr, checksums
+HEADER_BYTES = 64
+#: UDP/IP/Ethernet framing around the pulse payload
+FRAME_BYTES = 64
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a traversal request."""
+
+    RUNNING = "running"        # in flight; cur_ptr names the next access
+    DONE = "done"              # RETURN reached; scratch pad is the answer
+    ITER_LIMIT = "iter_limit"  # MAX_ITER hit; client may continue it
+    FAULT = "fault"            # translation/protection/execution fault
+
+
+@dataclass
+class TraversalRequest:
+    """One pointer-traversal request (or its response -- same format)."""
+
+    request_id: Tuple[int, int]      # (client id, per-client counter)
+    program: Program
+    cur_ptr: int
+    scratch: bytes
+    status: RequestStatus = RequestStatus.RUNNING
+    iterations_done: int = 0
+    #: which attempt this is (retransmissions reuse the request id)
+    attempt: int = 0
+    fault_reason: str = ""
+    #: simulated time the client first issued the request
+    issued_at_ns: float = 0.0
+    #: tenant for multi-tenant scheduling (defaults to the client id;
+    #: see repro.core.scheduling and the paper's Supp B)
+    tenant: int = 0
+    #: inter-memory-node continuations this traversal has made (section 5)
+    node_hops: int = 0
+    #: whether this message carries the full program or just its handle.
+    #: The offload engine deploys each compiled program once; subsequent
+    #: requests (and all responses/continuations) reference it by a
+    #: 16-byte handle, keeping steady-state messages small -- Fig 6's
+    #: sub-4% network utilization is impossible if every packet ships
+    #: the unrolled kernel.
+    code_on_wire: bool = False
+
+    #: wire size of a program handle (id + length + checksum)
+    CODE_HANDLE_BYTES = 16
+
+    def wire_bytes(self) -> int:
+        """On-wire size: framing + header + code + cur_ptr + scratch."""
+        code = (self.program.wire_bytes() if self.code_on_wire
+                else self.CODE_HANDLE_BYTES)
+        return (FRAME_BYTES + HEADER_BYTES + code + 8
+                + len(self.scratch))
+
+    def advanced(self, cur_ptr: int, scratch: bytes, iterations: int,
+                 status: RequestStatus,
+                 fault_reason: str = "") -> "TraversalRequest":
+        """A copy with updated traversal state (for the response)."""
+        return replace(
+            self,
+            cur_ptr=cur_ptr,
+            scratch=scratch,
+            iterations_done=self.iterations_done + iterations,
+            status=status,
+            fault_reason=fault_reason,
+            code_on_wire=False,
+        )

@@ -1,0 +1,107 @@
+"""The CPU-node offload engine (section 4.1).
+
+Responsibilities, exactly as in the paper:
+
+1. *Translate* iterator code into the pulse ISA -- done by
+   :class:`~repro.core.kernel.KernelBuilder`, whose output arrives here as
+   a :class:`~repro.isa.program.Program`.
+2. *Bound complexity*: statically derive per-iteration compute time t_c
+   and memory time t_d, and offload only when t_c <= eta_max * t_d.
+   Rejected programs execute at the CPU node with plain remote reads.
+3. *Packetize*: wrap the program, initial cur_ptr, and scratch pad into a
+   :class:`~repro.core.messages.TraversalRequest` carrying a request id
+   (client id + local counter) used for retransmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.iterator import PulseIterator
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.isa.analysis import ProgramAnalysis, analyze
+from repro.isa.program import Program
+from repro.params import AcceleratorParams
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """The engine's verdict for one program."""
+
+    offload: bool
+    analysis: ProgramAnalysis
+
+
+class OffloadEngine:
+    """Per-client compile-and-decide layer."""
+
+    def __init__(self, params: AcceleratorParams, client_id: int = 0):
+        self.params = params
+        self.client_id = client_id
+        self._counter = 0
+        self._decisions: Dict[int, OffloadDecision] = {}
+        #: programs already shipped to the rack's accelerators; later
+        #: requests carry only a 16-byte handle
+        self._deployed: set = set()
+
+    def decide(self, program: Program) -> OffloadDecision:
+        """Analyze (once per program) and cache the offload decision."""
+        key = id(program)
+        decision = self._decisions.get(key)
+        if decision is None:
+            analysis = analyze(program, self.params)
+            decision = OffloadDecision(offload=analysis.offloadable,
+                                       analysis=analysis)
+            self._decisions[key] = decision
+        return decision
+
+    def next_request_id(self) -> Tuple[int, int]:
+        self._counter += 1
+        return (self.client_id, self._counter)
+
+    def make_request(self, iterator: PulseIterator, *args,
+                     issued_at_ns: float = 0.0) -> TraversalRequest:
+        """Run ``init()`` on the CPU node and build the network request."""
+        if iterator.program is None:
+            raise TypeError(
+                f"{type(iterator).__name__} does not define a program")
+        cur_ptr, scratch = iterator.init(*args)
+        first_use = id(iterator.program) not in self._deployed
+        self._deployed.add(id(iterator.program))
+        return TraversalRequest(
+            request_id=self.next_request_id(),
+            program=iterator.program,
+            cur_ptr=cur_ptr,
+            scratch=bytes(scratch),
+            status=RequestStatus.RUNNING,
+            issued_at_ns=issued_at_ns,
+            code_on_wire=first_use,
+            tenant=self.client_id,
+        )
+
+    def continuation(self, response: TraversalRequest,
+                     issued_at_ns: float) -> TraversalRequest:
+        """A follow-up request resuming an ITER_LIMIT'd traversal.
+
+        Two cases produce continuations: ITER_LIMIT (section 3.1 -- the
+        accelerator's per-request iteration budget ran out) and RUNNING
+        responses delivered to the client, which only happens in the
+        pulse-ACC configuration where inter-node continuations bounce
+        through the CPU node instead of being re-routed in-switch (Fig 8).
+        """
+        if response.status not in (RequestStatus.ITER_LIMIT,
+                                   RequestStatus.RUNNING):
+            raise ValueError("continuation only applies to ITER_LIMIT or "
+                             "RUNNING responses")
+        return TraversalRequest(
+            request_id=self.next_request_id(),
+            program=response.program,
+            cur_ptr=response.cur_ptr,
+            scratch=response.scratch,
+            status=RequestStatus.RUNNING,
+            iterations_done=response.iterations_done,
+            issued_at_ns=issued_at_ns,
+            node_hops=response.node_hops,
+            tenant=response.tenant,
+        )

@@ -1,0 +1,128 @@
+"""The programmable switch: in-network traversal routing (section 5).
+
+The switch holds exactly one rule per memory node -- the range partition
+of the global virtual address space (section 6: "ADPDM's translations add
+only one additional rule per memory node").  For every pulse message it
+inspects the embedded ``cur_ptr``:
+
+* status RUNNING  -> route to the memory node owning ``cur_ptr`` (this is
+  both the initial client->memory delivery and, crucially, the
+  memory->memory re-route that saves half a round trip plus the CPU-node
+  software stack on distributed traversals);
+* status DONE/FAULT/ITER_LIMIT -> deliver to the client that issued it.
+
+The ``bounce_to_client`` flag turns the switch into the pulse-ACC
+baseline of Fig 8: RUNNING responses from a memory node are sent back to
+the client instead of being re-routed, forcing the traversal through the
+CPU node's network stack on every inter-node hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.accelerator import PULSE_KIND
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.mem.addrspace import AddressSpace
+from repro.params import SystemParams
+from repro.sim.engine import Environment
+from repro.sim.network import Fabric, Message
+from repro.sim.trace import NullTracer
+
+
+class PulseSwitch:
+    """Tofino-style range-routing for pulse traversal packets."""
+
+    def __init__(self, env: Environment, fabric: Fabric,
+                 addrspace: AddressSpace, params: SystemParams,
+                 name: str = "switch", bounce_to_client: bool = False,
+                 tracer=None):
+        self.env = env
+        self.fabric = fabric
+        self.addrspace = addrspace
+        self.params = params
+        self.name = name
+        self.bounce_to_client = bounce_to_client
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.endpoint = fabric.register(name)
+        #: request id -> client endpoint name, learned from requests;
+        #: the hardware encodes this in the packet's source fields
+        self._client_of: Dict[tuple, str] = {}
+        self.routed_to_memory = 0
+        self.rerouted_node_to_node = 0
+        self.returned_to_client = 0
+        self.dropped_stale = 0
+        env.process(self._route_loop())
+
+    @property
+    def rule_count(self) -> int:
+        """Number of switch table rules (one per memory node, section 6)."""
+        return self.addrspace.node_count
+
+    def _route_loop(self):
+        while True:
+            message = yield self.endpoint.inbox.get()
+            if message.kind != PULSE_KIND:
+                # Non-pulse traffic never targets the switch endpoint;
+                # baselines talk host-to-host through the fabric directly.
+                continue
+            self._route(message)
+
+    def _route(self, message: Message) -> None:
+        request: TraversalRequest = message.payload
+        from_memory = message.src.startswith("mem")
+
+        if not from_memory:
+            # Request from a client: remember who to reply to (the
+            # hardware carries this in the packet's source fields).
+            self._client_of[request.request_id] = message.src
+
+        client = self._client_of.get(request.request_id, message.src)
+
+        if request.status is RequestStatus.RUNNING:
+            if from_memory and self.bounce_to_client:
+                # pulse-ACC: hand the continuation back to the CPU node.
+                self.returned_to_client += 1
+                self._forward(message, client)
+                return
+            owner = self.addrspace.node_of(request.cur_ptr)
+            if owner is None:
+                request.status = RequestStatus.FAULT
+                request.fault_reason = (
+                    f"switch: unroutable pointer {request.cur_ptr:#x}")
+                self.returned_to_client += 1
+                self._forward(message, client)
+                return
+            if from_memory:
+                self.rerouted_node_to_node += 1
+                self.tracer.record(self.name, "reroute",
+                                   request.request_id,
+                                   dst=f"mem{owner}")
+            else:
+                self.routed_to_memory += 1
+                self.tracer.record(self.name, "route_to_memory",
+                                   request.request_id,
+                                   dst=f"mem{owner}")
+            self._forward(message, f"mem{owner}")
+            return
+
+        # Terminal statuses go home.  A terminal response whose request
+        # id is unknown is a stale duplicate (its original already
+        # completed, e.g. after a spurious retransmission): drop it.
+        if from_memory and request.request_id not in self._client_of:
+            self.dropped_stale += 1
+            return
+        self.returned_to_client += 1
+        self.tracer.record(self.name, "return_to_client",
+                           request.request_id, dst=client)
+        self._client_of.pop(request.request_id, None)
+        self._forward(message, client)
+
+    def _forward(self, message: Message, dst: str) -> None:
+        self.fabric.send(Message(
+            kind=message.kind,
+            src=self.name,
+            dst=dst,
+            size_bytes=message.size_bytes,
+            payload=message.payload,
+        ), segments=1)

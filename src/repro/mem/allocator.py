@@ -1,0 +1,164 @@
+"""Allocation over disaggregated memory nodes.
+
+The paper does not innovate on allocation (section 2.2): it uses glibc
+with *load-balanced* placement across nodes, and the supplementary
+material's allocation-policy study (Supp Fig 2) compares that uniform
+placement against an application-directed *partitioned* placement that
+keeps whole subtrees on one node.  Both policies live here:
+
+* ``PlacementPolicy.UNIFORM`` -- each allocation goes to the node with the
+  least bytes allocated (ties broken round-robin), spreading a structure's
+  nodes across the rack.
+* ``PlacementPolicy.PARTITIONED`` -- allocations fill node 0, then node 1,
+  ...; structure code may also direct placement per-allocation with
+  ``preferred_node``.
+
+Within a node the allocator is a bump allocator with a size-bucketed free
+list, and it installs/extends the node's TCAM range entries as it grows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mem.addrspace import AddressSpace
+from repro.mem.translation import (
+    PERM_READ,
+    PERM_WRITE,
+    RangeEntry,
+    RangeTranslationTable,
+)
+
+
+class AllocationError(Exception):
+    """Out of memory or malformed allocation request."""
+
+
+class PlacementPolicy(enum.Enum):
+    UNIFORM = "uniform"
+    PARTITIONED = "partitioned"
+
+
+@dataclass
+class _NodeArena:
+    """Per-node bump region + free lists."""
+
+    virt_start: int
+    virt_end: int
+    bump: int = 0
+    allocated_bytes: int = 0
+    free_lists: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def capacity(self) -> int:
+        return self.virt_end - self.virt_start
+
+    def remaining(self) -> int:
+        return self.capacity - self.bump
+
+
+class DisaggregatedAllocator:
+    """Allocates virtual addresses across the rack's memory nodes."""
+
+    def __init__(self, addrspace: AddressSpace,
+                 tables: List[RangeTranslationTable],
+                 policy: PlacementPolicy = PlacementPolicy.UNIFORM,
+                 alignment: int = 8):
+        if len(tables) != addrspace.node_count:
+            raise AllocationError(
+                "need one translation table per memory node")
+        if alignment < 1 or (alignment & (alignment - 1)):
+            raise AllocationError("alignment must be a power of two")
+        self.addrspace = addrspace
+        self.policy = policy
+        self.alignment = alignment
+        self._tables = tables
+        self._arenas = [
+            _NodeArena(*addrspace.range_of(n))
+            for n in range(addrspace.node_count)
+        ]
+        self._rr_next = 0
+        self.live_allocations: Dict[int, int] = {}  # vaddr -> size
+
+    # -- public API ---------------------------------------------------------
+    def alloc(self, size: int,
+              preferred_node: Optional[int] = None) -> int:
+        """Allocate ``size`` bytes; returns the virtual address."""
+        if size <= 0:
+            raise AllocationError(f"invalid allocation size: {size}")
+        size = self._align(size)
+        node_id = (preferred_node if preferred_node is not None
+                   else self._pick_node(size))
+        if not 0 <= node_id < self.addrspace.node_count:
+            raise AllocationError(f"no such node: {node_id}")
+        vaddr = self._alloc_on(node_id, size)
+        self.live_allocations[vaddr] = size
+        return vaddr
+
+    def free(self, vaddr: int) -> None:
+        """Return an allocation to its node's free list."""
+        if vaddr not in self.live_allocations:
+            raise AllocationError(f"free of unallocated address {vaddr:#x}")
+        size = self.live_allocations.pop(vaddr)
+        node_id, _ = self.addrspace.to_physical(vaddr)
+        arena = self._arenas[node_id]
+        arena.allocated_bytes -= size
+        arena.free_lists.setdefault(size, []).append(vaddr)
+
+    def allocated_bytes(self, node_id: int) -> int:
+        return self._arenas[node_id].allocated_bytes
+
+    def node_fill_fractions(self) -> List[float]:
+        """Per-node fraction of capacity currently allocated."""
+        return [a.allocated_bytes / a.capacity for a in self._arenas]
+
+    # -- internals ----------------------------------------------------------
+    def _align(self, size: int) -> int:
+        mask = self.alignment - 1
+        return (size + mask) & ~mask
+
+    def _pick_node(self, size: int) -> int:
+        if self.policy is PlacementPolicy.PARTITIONED:
+            for node_id, arena in enumerate(self._arenas):
+                if (arena.remaining() >= size
+                        or size in arena.free_lists
+                        and arena.free_lists[size]):
+                    return node_id
+            raise AllocationError("all nodes full")
+        # UNIFORM: least-allocated node first, round-robin on ties.
+        order = sorted(
+            range(len(self._arenas)),
+            key=lambda n: (self._arenas[n].allocated_bytes,
+                           (n - self._rr_next) % len(self._arenas)),
+        )
+        self._rr_next = (self._rr_next + 1) % len(self._arenas)
+        for node_id in order:
+            arena = self._arenas[node_id]
+            if arena.remaining() >= size or arena.free_lists.get(size):
+                return node_id
+        raise AllocationError("all nodes full")
+
+    def _alloc_on(self, node_id: int, size: int) -> int:
+        arena = self._arenas[node_id]
+        bucket = arena.free_lists.get(size)
+        if bucket:
+            vaddr = bucket.pop()
+            arena.allocated_bytes += size
+            return vaddr
+        if arena.remaining() < size:
+            raise AllocationError(
+                f"node {node_id} out of memory ({size} bytes requested, "
+                f"{arena.remaining()} free)")
+        vaddr = arena.virt_start + arena.bump
+        phys = arena.bump
+        arena.bump += size
+        arena.allocated_bytes += size
+        self._tables[node_id].insert(RangeEntry(
+            virt_start=vaddr,
+            virt_end=vaddr + size,
+            phys_start=phys,
+            perms=PERM_READ | PERM_WRITE,
+        ))
+        return vaddr

@@ -1,0 +1,162 @@
+"""Struct layouts: typed field packing for nodes of linked structures.
+
+Data structures on disaggregated memory are stored as raw bytes; a
+:class:`StructLayout` describes one record type (offsets, sizes, codecs) so
+the Python-side structure code and the pulse ISA kernels agree on field
+offsets.  The kernel builder reads offsets from the same layout object the
+serializer used, which keeps the two from drifting.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: supported scalar codecs: name -> (struct format, size)
+_SCALAR_CODECS: Dict[str, Tuple[str, int]] = {
+    "u8": ("<B", 1),
+    "u16": ("<H", 2),
+    "u32": ("<I", 4),
+    "u64": ("<Q", 8),
+    "i32": ("<i", 4),
+    "i64": ("<q", 8),
+    "f64": ("<d", 8),
+    "ptr": ("<Q", 8),  # virtual addresses are 64-bit
+}
+
+
+class LayoutError(Exception):
+    """Malformed layout definition or field access."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field in a record: a scalar, a fixed byte blob, or an array.
+
+    ``kind`` is a scalar codec name, ``"bytes"`` (fixed-size blob), or a
+    scalar codec with ``count > 1`` (inline array).
+    """
+
+    name: str
+    kind: str
+    count: int = 1
+    size: int = 0  # only for kind == "bytes"
+
+    def byte_size(self) -> int:
+        if self.kind == "bytes":
+            if self.size <= 0:
+                raise LayoutError(f"bytes field {self.name!r} needs size > 0")
+            return self.size
+        if self.kind not in _SCALAR_CODECS:
+            raise LayoutError(f"unknown field kind {self.kind!r}")
+        return _SCALAR_CODECS[self.kind][1] * self.count
+
+
+class StructLayout:
+    """A packed (no padding) record layout with named fields.
+
+    The absence of padding is deliberate: the paper's structures are
+    hand-packed for the accelerator's aggregated LOAD window (<=256 B per
+    iteration), and explicit offsets make the ISA kernels auditable.
+    """
+
+    def __init__(self, name: str, fields: Iterable[Field]):
+        self.name = name
+        self.fields: List[Field] = list(fields)
+        if not self.fields:
+            raise LayoutError(f"layout {name!r} has no fields")
+        seen = set()
+        self._offsets: Dict[str, int] = {}
+        offset = 0
+        for f in self.fields:
+            if f.name in seen:
+                raise LayoutError(f"duplicate field {f.name!r} in {name!r}")
+            seen.add(f.name)
+            self._offsets[f.name] = offset
+            offset += f.byte_size()
+        self.size = offset
+        self._by_name = {f.name: f for f in self.fields}
+
+    def offset(self, field_name: str, index: int = 0) -> int:
+        """Byte offset of ``field_name`` (element ``index`` for arrays)."""
+        f = self._field(field_name)
+        if index:
+            if f.kind == "bytes":
+                if index >= f.size:
+                    raise LayoutError(
+                        f"index {index} out of bytes field {field_name!r}")
+                return self._offsets[field_name] + index
+            if index >= f.count:
+                raise LayoutError(
+                    f"index {index} out of array field {field_name!r}")
+            return (self._offsets[field_name]
+                    + index * _SCALAR_CODECS[f.kind][1])
+        return self._offsets[field_name]
+
+    def field_size(self, field_name: str) -> int:
+        """Size in bytes of one element of the field."""
+        f = self._field(field_name)
+        if f.kind == "bytes":
+            return f.size
+        return _SCALAR_CODECS[f.kind][1]
+
+    def _field(self, field_name: str) -> Field:
+        if field_name not in self._by_name:
+            raise LayoutError(
+                f"layout {self.name!r} has no field {field_name!r}")
+        return self._by_name[field_name]
+
+    # -- pack / unpack -----------------------------------------------------
+    def pack(self, **values) -> bytes:
+        """Serialize a full record; missing fields default to zeros."""
+        buf = bytearray(self.size)
+        for name, value in values.items():
+            self.pack_field_into(buf, name, value)
+        return bytes(buf)
+
+    def pack_field_into(self, buf: bytearray, field_name: str,
+                        value) -> None:
+        f = self._field(field_name)
+        offset = self._offsets[field_name]
+        if f.kind == "bytes":
+            data = bytes(value)
+            if len(data) > f.size:
+                raise LayoutError(
+                    f"value too large for bytes field {field_name!r}")
+            buf[offset:offset + len(data)] = data
+            return
+        fmt, scalar_size = _SCALAR_CODECS[f.kind]
+        if f.count == 1:
+            struct.pack_into(fmt, buf, offset, value)
+        else:
+            items = list(value)
+            if len(items) > f.count:
+                raise LayoutError(
+                    f"too many elements for array field {field_name!r}")
+            for i, item in enumerate(items):
+                struct.pack_into(fmt, buf, offset + i * scalar_size, item)
+
+    def unpack(self, data: bytes) -> Dict[str, object]:
+        """Deserialize a full record into a field-name -> value dict."""
+        if len(data) < self.size:
+            raise LayoutError(
+                f"buffer too small for layout {self.name!r}: "
+                f"{len(data)} < {self.size}")
+        out: Dict[str, object] = {}
+        for f in self.fields:
+            out[f.name] = self.unpack_field(data, f.name)
+        return out
+
+    def unpack_field(self, data: bytes, field_name: str):
+        f = self._field(field_name)
+        offset = self._offsets[field_name]
+        if f.kind == "bytes":
+            return bytes(data[offset:offset + f.size])
+        fmt, scalar_size = _SCALAR_CODECS[f.kind]
+        if f.count == 1:
+            return struct.unpack_from(fmt, data, offset)[0]
+        return [
+            struct.unpack_from(fmt, data, offset + i * scalar_size)[0]
+            for i in range(f.count)
+        ]

@@ -1,0 +1,108 @@
+"""Memory node assembly and the rack-wide memory facade.
+
+:class:`MemoryNode` bundles one node's DRAM, translation table, and byte
+counters.  :class:`GlobalMemory` is what data-structure code programs
+against: allocate, read, and write by *virtual* address anywhere in the
+rack.  GlobalMemory performs *functional* (zero-simulated-time) accesses;
+all timed paths (accelerator pipelines, RPC workers, paging) charge their
+own latencies and then touch the same bytes through the owning node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mem.addrspace import AddressSpace
+from repro.mem.allocator import DisaggregatedAllocator, PlacementPolicy
+from repro.mem.physical import PhysicalMemory
+from repro.mem.translation import (
+    PERM_READ,
+    PERM_WRITE,
+    RangeTranslationTable,
+    TranslationFault,
+)
+
+
+class MemoryNode:
+    """One disaggregated memory node: DRAM + local translation state."""
+
+    def __init__(self, node_id: int, addrspace: AddressSpace,
+                 tcam_capacity: int = 1024):
+        self.node_id = node_id
+        self.name = f"mem{node_id}"
+        self.addrspace = addrspace
+        self.memory = PhysicalMemory(addrspace.node_capacity)
+        self.table = RangeTranslationTable(capacity=tcam_capacity)
+        self.virt_start, self.virt_end = addrspace.range_of(node_id)
+
+    def owns(self, vaddr: int) -> bool:
+        """True if ``vaddr`` falls in this node's partition of the rack."""
+        return self.virt_start <= vaddr < self.virt_end
+
+    def read_virt(self, vaddr: int, size: int,
+                  access: int = PERM_READ) -> bytes:
+        """Translate + read; raises TranslationFault for foreign pointers."""
+        phys = self.table.translate(vaddr, size, access)
+        return self.memory.read(phys, size)
+
+    def write_virt(self, vaddr: int, data: bytes) -> None:
+        phys = self.table.translate(vaddr, len(data), PERM_WRITE)
+        self.memory.write(phys, data)
+
+    @property
+    def bytes_served(self) -> int:
+        """Total DRAM traffic (both directions), for Fig 6."""
+        return self.memory.bytes_read + self.memory.bytes_written
+
+
+class GlobalMemory:
+    """The rack's memory: nodes + allocator + virtual-address access."""
+
+    def __init__(self, node_count: int, node_capacity: int,
+                 policy: PlacementPolicy = PlacementPolicy.UNIFORM,
+                 tcam_capacity: int = 1024):
+        self.addrspace = AddressSpace(node_count, node_capacity)
+        self.nodes: List[MemoryNode] = [
+            MemoryNode(n, self.addrspace, tcam_capacity)
+            for n in range(node_count)
+        ]
+        self.allocator = DisaggregatedAllocator(
+            self.addrspace, [n.table for n in self.nodes], policy)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, vaddr: int) -> Optional[MemoryNode]:
+        node_id = self.addrspace.node_of(vaddr)
+        if node_id is None:
+            return None
+        return self.nodes[node_id]
+
+    def alloc(self, size: int, preferred_node: Optional[int] = None) -> int:
+        return self.allocator.alloc(size, preferred_node)
+
+    def free(self, vaddr: int) -> None:
+        self.allocator.free(vaddr)
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        node = self.node_of(vaddr)
+        if node is None:
+            raise TranslationFault(vaddr)
+        return node.read_virt(vaddr, size)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        node = self.node_of(vaddr)
+        if node is None:
+            raise TranslationFault(vaddr)
+        node.write_virt(vaddr, data)
+
+    def read_u64(self, vaddr: int) -> int:
+        return int.from_bytes(self.read(vaddr, 8), "little")
+
+    def write_u64(self, vaddr: int, value: int) -> None:
+        self.write(vaddr, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def reset_counters(self) -> None:
+        for node in self.nodes:
+            node.memory.reset_counters()

@@ -1,0 +1,143 @@
+"""Range-based address translation and protection (the accelerator TCAM).
+
+Section 4.2.1: pulse uses range-based translation entries held in TCAM
+instead of fixed-size page tables, reducing on-chip state.  Each memory
+node's accelerator holds entries only for its own ranges (hierarchical
+translation, section 5); a lookup miss means the pointer lives on another
+node (or is invalid), and the accelerator bounces the request back to the
+switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+PERM_READ = 0x1
+PERM_WRITE = 0x2
+
+
+class TranslationFault(Exception):
+    """Virtual address not covered by any local range entry."""
+
+    def __init__(self, vaddr: int):
+        super().__init__(f"no translation for {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class ProtectionFault(Exception):
+    """Access permissions do not allow the requested operation."""
+
+    def __init__(self, vaddr: int, requested: int, granted: int):
+        super().__init__(
+            f"protection fault at {vaddr:#x}: requested "
+            f"{requested:#x}, granted {granted:#x}")
+        self.vaddr = vaddr
+        self.requested = requested
+        self.granted = granted
+
+
+@dataclass
+class RangeEntry:
+    """One TCAM entry: [virt_start, virt_end) -> phys_start, perms."""
+
+    virt_start: int
+    virt_end: int
+    phys_start: int
+    perms: int = PERM_READ | PERM_WRITE
+
+    def covers(self, vaddr: int, size: int) -> bool:
+        return self.virt_start <= vaddr and vaddr + size <= self.virt_end
+
+    def translate(self, vaddr: int) -> int:
+        return self.phys_start + (vaddr - self.virt_start)
+
+
+class RangeTranslationTable:
+    """Sorted range entries with a capacity cap modeling TCAM size."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("TCAM capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: List[RangeEntry] = []
+        self.lookups = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[RangeEntry]:
+        return list(self._entries)
+
+    def insert(self, entry: RangeEntry) -> None:
+        """Insert an entry, coalescing with an adjacent compatible one.
+
+        Coalescing keeps the table within TCAM capacity when an allocator
+        grows a region bump-style (the common case).
+        """
+        if entry.virt_end <= entry.virt_start:
+            raise ValueError("empty or inverted range")
+        for existing in self._entries:
+            if (entry.virt_start < existing.virt_end
+                    and existing.virt_start < entry.virt_end):
+                raise ValueError(
+                    f"overlapping translation ranges: "
+                    f"[{entry.virt_start:#x},{entry.virt_end:#x}) vs "
+                    f"[{existing.virt_start:#x},{existing.virt_end:#x})")
+        # Try to merge with a neighbor that is contiguous in both spaces.
+        for existing in self._entries:
+            contiguous = (
+                existing.virt_end == entry.virt_start
+                and existing.phys_start + (existing.virt_end
+                                           - existing.virt_start)
+                == entry.phys_start
+                and existing.perms == entry.perms
+            )
+            if contiguous:
+                existing.virt_end = entry.virt_end
+                return
+            contiguous_before = (
+                entry.virt_end == existing.virt_start
+                and entry.phys_start + (entry.virt_end - entry.virt_start)
+                == existing.phys_start
+                and existing.perms == entry.perms
+            )
+            if contiguous_before:
+                existing.virt_start = entry.virt_start
+                existing.phys_start = entry.phys_start
+                return
+        if len(self._entries) >= self.capacity:
+            raise ValueError(
+                f"TCAM full: {len(self._entries)} entries, capacity "
+                f"{self.capacity}")
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: e.virt_start)
+
+    def lookup(self, vaddr: int, size: int = 1) -> Optional[RangeEntry]:
+        """Entry covering [vaddr, vaddr+size), or None (a miss)."""
+        self.lookups += 1
+        for entry in self._entries:
+            if entry.covers(vaddr, size):
+                return entry
+        self.misses += 1
+        return None
+
+    def translate(self, vaddr: int, size: int = 1,
+                  access: int = PERM_READ) -> int:
+        """Translate or raise TranslationFault / ProtectionFault."""
+        entry = self.lookup(vaddr, size)
+        if entry is None:
+            raise TranslationFault(vaddr)
+        if (entry.perms & access) != access:
+            raise ProtectionFault(vaddr, access, entry.perms)
+        return entry.translate(vaddr)
+
+    def set_permissions(self, virt_start: int, perms: int) -> None:
+        """Change permissions of the entry starting at ``virt_start``."""
+        for entry in self._entries:
+            if entry.virt_start == virt_start:
+                entry.perms = perms
+                return
+        raise TranslationFault(virt_start)

@@ -1,0 +1,141 @@
+"""Network fabric model: endpoints, links, and message delivery.
+
+The rack in the paper is a star: every CPU node and memory node hangs off
+one programmable switch over 100 Gbps links.  The fabric models, per
+message: (i) serialization at the sender's NIC (size / link bandwidth,
+egress is a shared resource so concurrent sends queue), (ii) one-way wire
+propagation, and (iii) optional drop injection.  Software stack costs
+(DPDK, kernel paging, TCP) are charged by the *endpoints*, not the fabric,
+because they differ per system -- that difference is exactly what Figs 4-6
+measure.
+
+Per-endpoint rx/tx byte counters feed Fig 6's network-bandwidth
+utilization numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.params import NetworkParams
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+@dataclass
+class Message:
+    """A packet on the fabric.
+
+    ``size_bytes`` covers headers and payload; ``kind`` is a free-form tag
+    the receiving endpoint dispatches on; ``payload`` is an arbitrary
+    Python object (the simulation keeps real state in it, and charges wire
+    time for the declared size).
+    """
+
+    kind: str
+    src: str
+    dst: str
+    size_bytes: int
+    payload: Any = None
+    hops: int = 0
+
+
+class Endpoint:
+    """A NIC attachment point: an inbox plus egress serialization."""
+
+    def __init__(self, env: Environment, name: str,
+                 link_bytes_per_ns: float):
+        self.env = env
+        self.name = name
+        self.inbox: Store = Store(env)
+        self.egress = Resource(env, capacity=1)
+        self.link_bytes_per_ns = link_bytes_per_ns
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_messages = 0
+        self.rx_messages = 0
+
+    def network_utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of link bandwidth used (max of rx/tx directions)."""
+        window = elapsed if elapsed is not None else self.env.now
+        if window <= 0:
+            return 0.0
+        peak = max(self.tx_bytes, self.rx_bytes)
+        return peak / (window * self.link_bytes_per_ns)
+
+
+class Fabric:
+    """The switch-centric star network connecting all endpoints."""
+
+    def __init__(self, env: Environment, params: NetworkParams,
+                 seed: int = 0):
+        self.env = env
+        self.params = params
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._rng = random.Random(seed)
+        self.dropped_messages = 0
+        self.delivered_messages = 0
+
+    def register(self, name: str) -> Endpoint:
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(self.env, name,
+                            self.params.link_bytes_per_ns)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._endpoints[name]
+
+    def endpoints(self) -> Dict[str, Endpoint]:
+        return dict(self._endpoints)
+
+    def send(self, message: Message, segments: int = 2,
+             extra_latency_ns: float = 0.0) -> None:
+        """Start delivery of ``message``; returns immediately.
+
+        Delivery runs as its own process: serialize at the sender's
+        egress, propagate over ``segments`` wire segments (2 = through the
+        switch, host->switch->host; the switch itself uses 1 for each leg
+        it handles explicitly), then (unless dropped) appear in the
+        destination inbox.
+        """
+        if message.src not in self._endpoints:
+            raise ValueError(f"unknown source endpoint {message.src!r}")
+        if message.dst not in self._endpoints:
+            raise ValueError(f"unknown destination endpoint {message.dst!r}")
+        self.env.process(
+            self._deliver(message, segments, extra_latency_ns))
+
+    def _deliver(self, message: Message, segments: int,
+                 extra_latency_ns: float):
+        src = self._endpoints[message.src]
+        dst = self._endpoints[message.dst]
+
+        grant = src.egress.request()
+        yield grant
+        try:
+            serialization = message.size_bytes / src.link_bytes_per_ns
+            yield self.env.timeout(serialization)
+            src.tx_bytes += message.size_bytes
+            src.tx_messages += 1
+        finally:
+            src.egress.release(grant)
+
+        propagation = (self.params.segment_ns * segments
+                       + self.params.switch_process_ns
+                       + extra_latency_ns)
+        yield self.env.timeout(propagation)
+
+        if (self.params.drop_probability > 0.0
+                and self._rng.random() < self.params.drop_probability):
+            self.dropped_messages += 1
+            return
+
+        message.hops += 1
+        dst.rx_bytes += message.size_bytes
+        dst.rx_messages += 1
+        self.delivered_messages += 1
+        dst.inbox.put(message)

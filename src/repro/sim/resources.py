@@ -1,0 +1,223 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover everything pulse models:
+
+* :class:`Resource` -- ``capacity`` interchangeable servers with a FIFO
+  grant queue; used for pipelines, NIC processing units, and CPU workers.
+* :class:`Store` / :class:`PriorityStore` -- unbounded (or bounded)
+  buffers of items with blocking ``get``; used for rx/tx queues and
+  scheduler mailboxes.
+* :class:`Container` -- a continuous quantity with blocking ``get``;
+  used for token-bucket style bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, List, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """Grant event for one unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (e.g. after an interrupt)."""
+        if self in self.resource._waiting:
+            self.resource._waiting.remove(self)
+
+
+class Resource:
+    """``capacity`` servers granted FIFO.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the resource ...
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._waiting: List[Request] = []
+        # Utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = env.now
+        self._granted_total = 0
+
+    @property
+    def in_use(self) -> int:
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request not in self._users:
+            raise SimulationError("releasing a request that does not hold "
+                                  "this resource")
+        self._account()
+        self._users.remove(request)
+        while self._waiting and len(self._users) < self.capacity:
+            self._grant(self._waiting.pop(0))
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self._users.append(req)
+        self._granted_total += 1
+        req.succeed(req)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += len(self._users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Average fraction of capacity busy since t=0 (or over elapsed)."""
+        self._account()
+        window = elapsed if elapsed is not None else self.env.now
+        if window <= 0:
+            return 0.0
+        return self._busy_time / (window * self.capacity)
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self.store = store
+
+    def cancel(self) -> None:
+        if self in self.store._getters:
+            self.store._getters.remove(self)
+
+
+class Store:
+    """A buffer of items with blocking ``get`` and non-blocking ``put``.
+
+    ``capacity`` bounds the number of buffered items; a ``put`` beyond
+    capacity raises (pulse sizes its hardware queues so that overflow is a
+    modeling bug, not a simulated condition -- drops are modeled explicitly
+    at the network layer instead).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._getters: List[StoreGet] = []
+        self.put_total = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if len(self._items) >= self.capacity:
+            raise SimulationError("store overflow")
+        self.put_total += 1
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> StoreGet:
+        getter = StoreGet(self)
+        self._getters.append(getter)
+        self._dispatch()
+        return getter
+
+    def _pop_item(self) -> Any:
+        return self._items.pop(0)
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(self._pop_item())
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that hands out the smallest item first.
+
+    Items must be orderable; pulse wraps payloads in ``(priority, seq,
+    payload)`` tuples via :meth:`put_prioritized`.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._seq = count()
+
+    def put(self, item: Any) -> None:
+        if len(self._items) >= self.capacity:
+            raise SimulationError("store overflow")
+        self.put_total += 1
+        heapq.heappush(self._items, item)
+        self._dispatch()
+
+    def put_prioritized(self, priority: float, payload: Any) -> None:
+        self.put((priority, next(self._seq), payload))
+
+    def _pop_item(self) -> Any:
+        return heapq.heappop(self._items)
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.container = container
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity (e.g. bytes of credit) with blocking get."""
+
+    def __init__(self, env: Environment, init: float = 0.0,
+                 capacity: float = float("inf")):
+        if init < 0 or init > capacity:
+            raise SimulationError("invalid container init/capacity")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._getters: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise SimulationError("container put must be non-negative")
+        self._level = min(self.capacity, self._level + amount)
+        self._dispatch()
+
+    def get(self, amount: float) -> ContainerGet:
+        if amount < 0:
+            raise SimulationError("container get must be non-negative")
+        getter = ContainerGet(self, amount)
+        self._getters.append(getter)
+        self._dispatch()
+        return getter
+
+    def _dispatch(self) -> None:
+        while self._getters and self._getters[0].amount <= self._level:
+            getter = self._getters.pop(0)
+            self._level -= getter.amount
+            getter.succeed(getter.amount)

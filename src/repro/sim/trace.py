@@ -1,0 +1,96 @@
+"""Per-request event tracing.
+
+A :class:`Tracer` collects timestamped events from every component a
+traversal touches (client, switch, accelerators), producing the kind of
+timeline Fig 9 was measured from::
+
+    t=0.0us      client0    issue            req=(0, 1)
+    t=1.2us      switch     route_to_memory  req=(0, 1) dst=mem1
+    t=2.1us      mem1       rx               req=(0, 1)
+    t=2.1us      mem1       execute          req=(0, 1) iters=12
+    t=4.3us      mem1       tx               req=(0, 1) status=done
+    t=5.6us      client0    complete         req=(0, 1)
+
+Tracing is off by default (``PulseCluster(trace=True)`` enables it);
+when disabled the record call is a no-op attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time_ns: float
+    component: str
+    event: str
+    request_id: Optional[Tuple[int, int]]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        req = f"req={self.request_id}" if self.request_id else ""
+        return (f"t={self.time_ns/1000:10.3f}us  {self.component:10s} "
+                f"{self.event:18s} {req} {extras}").rstrip()
+
+
+class Tracer:
+    """Collects trace events; negligible cost when disabled."""
+
+    def __init__(self, env, enabled: bool = True,
+                 capacity: int = 100_000):
+        self.env = env
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, component: str, event: str,
+               request_id: Optional[Tuple[int, int]] = None,
+               **detail) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(
+            time_ns=self.env.now,
+            component=component,
+            event=event,
+            request_id=request_id,
+            detail=detail,
+        ))
+
+    def timeline(self, request_id: Tuple[int, int]) -> List[TraceEvent]:
+        """All events of one request, in time order."""
+        return [e for e in self.events if e.request_id == request_id]
+
+    def render(self, request_id: Optional[Tuple[int, int]] = None) -> str:
+        events = (self.timeline(request_id) if request_id is not None
+                  else self.events)
+        return "\n".join(e.render() for e in events)
+
+    def span_ns(self, request_id: Tuple[int, int]) -> float:
+        """Wall time between a request's first and last event."""
+        events = self.timeline(request_id)
+        if len(events) < 2:
+            return 0.0
+        return events[-1].time_ns - events[0].time_ns
+
+
+class NullTracer:
+    """A tracer that records nothing (the default)."""
+
+    enabled = False
+    events: List[TraceEvent] = []
+
+    def record(self, *_args, **_kwargs) -> None:
+        return
+
+    def timeline(self, _request_id):
+        return []
+
+    def render(self, _request_id=None) -> str:
+        return ""

@@ -1,0 +1,33 @@
+"""Linked data structures on disaggregated memory.
+
+Each structure serializes its nodes into :class:`~repro.mem.node.
+GlobalMemory` (real pointers in the rack's virtual address space) and
+exposes its traversal operations as :class:`~repro.core.iterator.
+PulseIterator` subclasses whose kernels were produced with the
+:class:`~repro.core.kernel.KernelBuilder`.  The same iterators run on the
+accelerator, on RPC baselines, and functionally in tests.
+
+The set mirrors the paper: linked lists (sensitivity experiments), a
+chained hash table (UPC / YCSB-C), a B+Tree (TC / YCSB-E and TSV), plus
+two structures from the supplementary survey -- a binary search tree
+(std::map's _M_lower_bound, Listings 7/8) and a skip list -- to
+demonstrate the iterator interface's expressiveness.
+"""
+
+from repro.structures.linkedlist import LinkedList
+from repro.structures.hashtable import HashTable
+from repro.structures.btree import BPlusTree
+from repro.structures.bst import BinarySearchTree
+from repro.structures.avltree import AvlTree
+from repro.structures.skiplist import SkipList
+from repro.structures.graph import DisaggregatedGraph
+
+__all__ = [
+    "AvlTree",
+    "BPlusTree",
+    "BinarySearchTree",
+    "DisaggregatedGraph",
+    "HashTable",
+    "LinkedList",
+    "SkipList",
+]

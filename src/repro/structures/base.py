@@ -1,0 +1,47 @@
+"""Shared plumbing for disaggregated data structures."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.node import GlobalMemory
+
+#: sentinel meaning "no node" -- the null pointer of the rack
+NULL = 0
+
+#: keys are unsigned 63-bit so signed 64-bit COMPAREs in kernels are safe
+MAX_KEY = (1 << 63) - 1
+
+
+class StructureError(Exception):
+    """Misuse of a data structure (bad key, empty structure, ...)."""
+
+
+class DisaggregatedStructure:
+    """Base: owns a reference to rack memory and a placement function.
+
+    ``placement`` maps an allocation ordinal to a preferred memory node
+    (or None for the allocator's policy); structures use it to implement
+    the partitioned-vs-uniform comparison of Supp Fig 2.
+    """
+
+    def __init__(self, memory: GlobalMemory,
+                 placement: Optional[Callable[[int], Optional[int]]] = None):
+        self.memory = memory
+        self._placement = placement
+        self._alloc_ordinal = 0
+
+    def _alloc_node(self, size: int) -> int:
+        node = None
+        if self._placement is not None:
+            node = self._placement(self._alloc_ordinal)
+        self._alloc_ordinal += 1
+        return self.memory.alloc(size, preferred_node=node)
+
+    @staticmethod
+    def check_key(key: int) -> int:
+        key = int(key)
+        if not 0 <= key <= MAX_KEY:
+            raise StructureError(
+                f"key {key} outside the supported [0, 2^63) range")
+        return key

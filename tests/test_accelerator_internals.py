@@ -1,0 +1,213 @@
+"""Focused tests on accelerator, switch, and client internals."""
+
+import pytest
+
+from repro.core import PulseCluster
+from repro.core.accelerator import PULSE_KIND
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.params import AcceleratorParams, DEFAULT_PARAMS, SystemParams
+from repro.structures import LinkedList
+
+
+def make_list_cluster(n=40, nodes=1, **cluster_kwargs):
+    cluster = PulseCluster(node_count=nodes, **cluster_kwargs)
+    lst = LinkedList(cluster.memory)
+    lst.extend((k, k * 2) for k in range(1, n + 1))
+    return cluster, lst
+
+
+class TestAcceleratorStats:
+    def test_phase_accounting_matches_fig9_constants(self):
+        cluster, lst = make_list_cluster()
+        cluster.run_traversal(lst.find_iterator(), 20)
+        stats = cluster.accelerators[0].stats
+        acc = cluster.params.accelerator
+        assert stats.per_message_netstack_ns() == acc.netstack_ns
+        assert stats.per_request_dispatch_ns() == \
+            acc.scheduler_dispatch_ns
+        # 24-byte window: occupancy + interconnect + latency tail.
+        expected_mem = (acc.occupancy_ns(24) + 24 / 25.0
+                        + acc.dram_latency_ns)
+        assert stats.per_iteration_memory_ns() == \
+            pytest.approx(expected_mem, rel=0.01)
+        assert stats.iterations == 20
+        assert stats.requests == 1
+        assert stats.responses == 1
+
+    def test_bytes_loaded_counts_window(self):
+        cluster, lst = make_list_cluster()
+        cluster.run_traversal(lst.find_iterator(), 10)
+        stats = cluster.accelerators[0].stats
+        assert stats.bytes_loaded == 10 * 24
+
+    def test_memory_bandwidth_used(self):
+        cluster, lst = make_list_cluster()
+        cluster.run_traversal(lst.find_iterator(), 40)
+        acc = cluster.accelerators[0]
+        assert 0 < acc.memory_bandwidth_used() < 25.0
+
+
+class TestWorkspaceLimits:
+    def test_requests_queue_beyond_workspace_capacity(self):
+        accel = AcceleratorParams(workspaces_per_core=1)
+        params = SystemParams(accelerator=accel)
+        cluster = PulseCluster(node_count=1, params=params,
+                               cores_per_accelerator=1)
+        lst = LinkedList(cluster.memory)
+        lst.extend((k, k) for k in range(1, 201))
+        finder = lst.find_iterator()
+        # Ten concurrent long traversals against one workspace: all must
+        # complete, serialized.
+        stats = cluster.run_workload([(finder, (200,))] * 10,
+                                     concurrency=10)
+        assert stats.completed == 10
+        assert stats.faults == 0
+
+    def test_iteration_budget_partitions_across_visits(self):
+        accel = AcceleratorParams(max_iterations=16)
+        params = SystemParams(accelerator=accel)
+        cluster = PulseCluster(node_count=1, params=params)
+        lst = LinkedList(cluster.memory)
+        lst.extend((k, k) for k in range(1, 101))
+        result = cluster.run_traversal(lst.find_iterator(), 100)
+        assert result.value == 100
+        assert result.iterations == 100
+
+
+class TestSwitchBehaviour:
+    def test_one_rule_per_node(self):
+        for nodes in (1, 3, 4):
+            cluster = PulseCluster(node_count=nodes)
+            assert cluster.switch.rule_count == nodes
+
+    def test_unroutable_pointer_returns_fault(self):
+        cluster, lst = make_list_cluster()
+        finder = lst.find_iterator()
+        lst.head = 0x7F  # below any node's range
+        result = cluster.run_traversal(finder, 1)
+        assert result.faulted
+        assert "unroutable" in result.fault_reason
+
+    def test_stale_duplicate_responses_dropped(self):
+        from repro.params import NetworkParams
+        params = SystemParams(network=NetworkParams(
+            drop_probability=0.3, retransmit_timeout_ns=30_000.0))
+        cluster = PulseCluster(node_count=1, params=params, seed=3)
+        lst = LinkedList(cluster.memory)
+        lst.extend((k, k) for k in range(1, 30))
+        finder = lst.find_iterator()
+        for key in range(1, 20):
+            result = cluster.run_traversal(finder, key)
+            assert result.value == key
+        # With duplicates in flight, the switch dropped the stale ones
+        # rather than misrouting them.
+        assert cluster.client.retransmissions > 0
+
+
+class TestProtectionPath:
+    def test_readonly_range_faults_on_store(self):
+        from repro.mem.translation import PERM_READ
+        from repro.structures import HashTable
+
+        cluster = PulseCluster(node_count=1)
+        table = HashTable(cluster.memory, buckets=2, value_bytes=8)
+        table.insert(5, (1).to_bytes(8, "little"))
+        # Flip the whole node range to read-only.
+        node = cluster.memory.nodes[0]
+        for entry in node.table.entries:
+            node.table.set_permissions(entry.virt_start, PERM_READ)
+        result = cluster.run_traversal(table.update_iterator(), 5, 99)
+        assert result.faulted
+        assert "protection" in result.fault_reason.lower()
+
+    def test_store_through_accelerator_persists(self):
+        from repro.structures import HashTable
+
+        cluster = PulseCluster(node_count=1)
+        table = HashTable(cluster.memory, buckets=2, value_bytes=8)
+        table.insert(5, (1).to_bytes(8, "little"))
+        result = cluster.run_traversal(table.update_iterator(), 5, 4242)
+        assert result.value is True
+        assert int.from_bytes(table.find_reference(5), "little") == 4242
+
+
+class TestRequestWireFormat:
+    def test_wire_size_includes_code_and_scratch(self):
+        cluster, lst = make_list_cluster()
+        finder = lst.find_iterator()
+        first = cluster.engine.make_request(finder, 5)
+        # First use ships the encoded program (header + name + 8 B per
+        # instruction + constant pool)...
+        expected = (128  # frame + header
+                    + finder.program.wire_bytes()
+                    + 8
+                    + len(first.scratch))
+        assert first.wire_bytes() == expected
+        assert first.code_on_wire
+        # ... later requests carry only the 16 B program handle.
+        second = cluster.engine.make_request(finder, 6)
+        assert not second.code_on_wire
+        assert second.wire_bytes() == (128 + 16 + 8
+                                       + len(second.scratch))
+        assert second.wire_bytes() < first.wire_bytes()
+
+    def test_advanced_preserves_identity(self):
+        cluster, lst = make_list_cluster()
+        request = cluster.engine.make_request(lst.find_iterator(), 5)
+        response = request.advanced(0x42, b"\x01", 3,
+                                    RequestStatus.DONE)
+        assert response.request_id == request.request_id
+        assert response.cur_ptr == 0x42
+        assert response.iterations_done == 3
+        assert response.status is RequestStatus.DONE
+        # The original request is unchanged (responses are copies).
+        assert request.status is RequestStatus.RUNNING
+
+
+class TestLocalFallback:
+    def _heavy_iterator(self, cluster):
+        """A kernel too compute-heavy for the accelerator."""
+        from repro.core.kernel import KernelBuilder
+        from repro.core.iterator import PulseIterator
+        from repro.structures.linkedlist import _node_layout
+
+        layout = _node_layout(8)
+        k = KernelBuilder("heavy", scratch_bytes=16)
+        for _ in range(150):  # t_c = 150 ns >> eta_max * t_d
+            k.add(k.sp(0), k.sp(0), k.field(layout, "value"))
+        k.compare(k.field(layout, "next"), k.imm(0))
+        k.jump_eq("done")
+        k.move(k.cur_ptr(), k.field(layout, "next"))
+        k.next_iter()
+        k.label("done")
+        k.ret()
+        program = k.build()
+
+        class HeavySum(PulseIterator):
+            def __init__(self, head):
+                self.head = head
+                self.program = program
+
+            def init(self):
+                return self.head, bytes(16)
+
+            def finalize(self, scratch):
+                return int.from_bytes(scratch[:8], "little",
+                                      signed=True)
+
+        return HeavySum
+
+    def test_rejected_program_runs_locally_and_slower(self):
+        cluster, lst = make_list_cluster(n=30)
+        heavy_cls = self._heavy_iterator(cluster)
+        heavy = heavy_cls(lst.head)
+        decision = cluster.engine.decide(heavy.program)
+        assert not decision.offload
+        result = cluster.run_traversal(heavy)
+        assert not result.offloaded
+        assert result.value == sum(k * 2 for k in range(1, 31)) * 150
+
+        # The offloadable equivalent is much faster end to end.
+        fast = cluster.run_traversal(lst.sum_iterator())
+        assert fast.offloaded
+        assert result.latency_ns > 5 * fast.latency_ns

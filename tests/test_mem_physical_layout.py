@@ -1,0 +1,135 @@
+"""Tests for physical memory and struct layouts."""
+
+import pytest
+
+from repro.mem import Field, MemoryFault, PhysicalMemory, StructLayout
+from repro.mem.layout import LayoutError
+
+
+class TestPhysicalMemory:
+    def test_read_back_what_was_written(self):
+        mem = PhysicalMemory(1024)
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_zero_initialized(self):
+        mem = PhysicalMemory(64)
+        assert mem.read(0, 64) == bytes(64)
+
+    def test_out_of_bounds_read_rejected(self):
+        mem = PhysicalMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.read(60, 8)
+
+    def test_out_of_bounds_write_rejected(self):
+        mem = PhysicalMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.write(62, b"abcdef")
+
+    def test_negative_address_rejected(self):
+        mem = PhysicalMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.read(-1, 4)
+
+    def test_negative_length_rejected(self):
+        mem = PhysicalMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.read(0, -4)
+
+    def test_u64_round_trip(self):
+        mem = PhysicalMemory(64)
+        mem.write_u64(8, 0xDEADBEEF_CAFEBABE)
+        assert mem.read_u64(8) == 0xDEADBEEF_CAFEBABE
+
+    def test_byte_counters(self):
+        mem = PhysicalMemory(64)
+        mem.write(0, b"abcd")
+        mem.read(0, 2)
+        assert mem.bytes_written == 4
+        assert mem.bytes_read == 2
+        mem.reset_counters()
+        assert mem.bytes_read == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(MemoryFault):
+            PhysicalMemory(0)
+
+
+class TestStructLayout:
+    def _node_layout(self):
+        return StructLayout("node", [
+            Field("key", "u64"),
+            Field("value", "bytes", size=16),
+            Field("next", "ptr"),
+        ])
+
+    def test_offsets_are_packed(self):
+        layout = self._node_layout()
+        assert layout.offset("key") == 0
+        assert layout.offset("value") == 8
+        assert layout.offset("next") == 24
+        assert layout.size == 32
+
+    def test_pack_unpack_round_trip(self):
+        layout = self._node_layout()
+        raw = layout.pack(key=42, value=b"hi", next=0xABC)
+        out = layout.unpack(raw)
+        assert out["key"] == 42
+        assert out["value"][:2] == b"hi"
+        assert out["next"] == 0xABC
+
+    def test_missing_fields_default_to_zero(self):
+        layout = self._node_layout()
+        out = layout.unpack(layout.pack(key=7))
+        assert out["next"] == 0
+        assert out["value"] == bytes(16)
+
+    def test_array_field(self):
+        layout = StructLayout("btree", [
+            Field("num_keys", "u32"),
+            Field("keys", "u64", count=4),
+        ])
+        assert layout.offset("keys", 2) == 4 + 16
+        raw = layout.pack(num_keys=3, keys=[10, 20, 30])
+        assert layout.unpack_field(raw, "keys") == [10, 20, 30, 0]
+
+    def test_signed_and_float_codecs(self):
+        layout = StructLayout("rec", [
+            Field("delta", "i64"),
+            Field("ratio", "f64"),
+        ])
+        raw = layout.pack(delta=-5, ratio=2.5)
+        assert layout.unpack_field(raw, "delta") == -5
+        assert layout.unpack_field(raw, "ratio") == 2.5
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("bad", [Field("x", "u64"), Field("x", "u32")])
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("empty", [])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("bad", [Field("x", "u128")]).size
+
+    def test_unknown_field_access_rejected(self):
+        layout = self._node_layout()
+        with pytest.raises(LayoutError):
+            layout.offset("nope")
+
+    def test_value_too_large_for_bytes_field(self):
+        layout = self._node_layout()
+        with pytest.raises(LayoutError):
+            layout.pack(value=b"x" * 17)
+
+    def test_array_index_out_of_range(self):
+        layout = StructLayout("a", [Field("keys", "u64", count=2)])
+        with pytest.raises(LayoutError):
+            layout.offset("keys", 2)
+
+    def test_field_size(self):
+        layout = self._node_layout()
+        assert layout.field_size("key") == 8
+        assert layout.field_size("value") == 16

@@ -1,0 +1,87 @@
+"""Tests for request tracing."""
+
+import pytest
+
+from repro.core import PulseCluster
+from repro.sim import Environment
+from repro.sim.trace import NullTracer, Tracer
+from repro.structures import LinkedList
+
+
+class TestTracerUnit:
+    def test_records_in_time_order(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.record("a", "first", (0, 1))
+        env.run(until=100)
+        tracer.record("b", "second", (0, 1))
+        events = tracer.timeline((0, 1))
+        assert [e.event for e in events] == ["first", "second"]
+        assert events[0].time_ns < events[1].time_ns
+
+    def test_capacity_drops_extras(self):
+        env = Environment()
+        tracer = Tracer(env, capacity=2)
+        for i in range(5):
+            tracer.record("x", "e", (0, i))
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_disabled_tracer_records_nothing(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=False)
+        tracer.record("x", "e", (0, 1))
+        assert tracer.events == []
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        null.record("x", "e", (0, 1), anything="goes")
+        assert null.timeline((0, 1)) == []
+        assert null.render() == ""
+
+    def test_render_mentions_components(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.record("client0", "issue", (0, 1), program="hash_find")
+        text = tracer.render((0, 1))
+        assert "client0" in text and "hash_find" in text
+
+
+class TestClusterTracing:
+    def test_full_request_timeline(self):
+        cluster = PulseCluster(node_count=2, trace=True)
+        lst = LinkedList(cluster.memory, placement=lambda o: o % 2)
+        lst.extend((k, k) for k in range(1, 6))
+        result = cluster.run_traversal(lst.find_iterator(), 5)
+        assert result.value == 5
+
+        request_id = (0, 1)
+        events = [e.event for e in cluster.tracer.timeline(request_id)]
+        assert events[0] == "issue"
+        assert "route_to_memory" in events
+        assert "reroute" in events          # crossed nodes 4 times
+        assert events.count("execute") == 5  # one per node visit
+        assert "return_to_client" in events
+        assert events[-1] == "complete"
+        # The span matches the measured latency to within the client's
+        # final stack hold.
+        span = cluster.tracer.span_ns(request_id)
+        assert span <= result.latency_ns
+        assert span > 0.5 * result.latency_ns
+
+    def test_tracing_off_by_default(self):
+        cluster = PulseCluster(node_count=1)
+        lst = LinkedList(cluster.memory)
+        lst.extend([(1, 1)])
+        cluster.run_traversal(lst.find_iterator(), 1)
+        assert cluster.tracer.timeline((0, 1)) == []
+
+    def test_tracing_does_not_change_timing(self):
+        def latency(trace):
+            cluster = PulseCluster(node_count=1, trace=trace)
+            lst = LinkedList(cluster.memory)
+            lst.extend((k, k) for k in range(1, 21))
+            return cluster.run_traversal(
+                lst.find_iterator(), 20).latency_ns
+
+        assert latency(True) == latency(False)
