@@ -7,7 +7,9 @@ for the linked-list traversal; the response path mirrors the request
 path.
 """
 
-from conftest import save_table, scale_requests
+import json
+
+from conftest import RESULTS_DIR, save_table, scale_requests
 
 from repro.bench.experiments import format_table, make_system
 from repro.bench.driver import run_workload
@@ -19,7 +21,10 @@ def _measure():
     upc = build_upc(system.memory, 1, num_pairs=10_000,
                     chain_length=200, requests=scale_requests(40),
                     seed=0)
-    run_workload(system, upc.operations, concurrency=1)
+    run = run_workload(system, upc.operations, concurrency=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "metrics_snapshot.json").write_text(
+        json.dumps({"pulse": run.metrics}, indent=2) + "\n")
     stats = system.accelerators[0].stats
     return {
         "netstack_ns": stats.per_message_netstack_ns(),

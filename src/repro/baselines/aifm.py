@@ -71,8 +71,18 @@ class CacheRpcSystem(RpcSystem):
         mem = self.params.memory
         size = cache_bytes if cache_bytes is not None else mem.cache_bytes
         self.object_cache = ObjectCache(size, object_bytes)
-        self.local_iterations = 0
-        self.offloaded_requests = 0
+        self._m_local_iterations = self.registry.counter(
+            "client0.objcache.local_iterations")
+        self._m_offloaded = self.registry.counter(
+            "client0.objcache.offloaded_requests")
+
+    @property
+    def local_iterations(self) -> int:
+        return self._m_local_iterations.value
+
+    @property
+    def offloaded_requests(self) -> int:
+        return self._m_offloaded.value
 
     @property
     def name(self) -> str:
@@ -105,7 +115,7 @@ class CacheRpcSystem(RpcSystem):
                 fault_reason = str(exc)
                 break
             iterations += 1
-            self.local_iterations += 1
+            self._m_local_iterations.inc()
             yield self.env.timeout(
                 step.instructions_executed * cpu.instruction_ns())
             if step.outcome is IterationOutcome.DONE:
@@ -114,7 +124,7 @@ class CacheRpcSystem(RpcSystem):
 
         # Phase 2: RPC the remainder over the TCP-flavored stack.
         if not done and not faulted:
-            self.offloaded_requests += 1
+            self._m_offloaded.inc()
             self._counter += 1
             request = TraversalRequest(
                 request_id=(0, self._counter),
@@ -159,5 +169,5 @@ class CacheRpcSystem(RpcSystem):
             faulted=faulted,
             fault_reason=fault_reason,
         )
-        self.completed.append(result)
+        self._record_result(result)
         return result

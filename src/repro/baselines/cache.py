@@ -86,8 +86,17 @@ class CacheSystem(BaselineSystem):
         self.servers = [_PagingServer(self, node)
                         for node in self.memory.nodes]
         self.completed: List[TraversalResult] = []
-        self.pages_fetched = 0
+        self._m_pages_fetched = self.registry.counter(
+            "client0.cache.pages_fetched")
+        self.registry.gauge("client0.cache.hit_ratio",
+                            fn=lambda: self.cache.hit_ratio)
+        self.registry.gauge("client0.cache.evictions",
+                            fn=lambda: float(self.cache.evictions))
         self.env.process(self._drain_client_inbox())
+
+    @property
+    def pages_fetched(self) -> int:
+        return self._m_pages_fetched.value
 
     def _drain_client_inbox(self):
         # Page payloads are delivered to fault processes via events keyed
@@ -152,7 +161,7 @@ class CacheSystem(BaselineSystem):
             faulted=faulted,
             fault_reason=fault_reason,
         )
-        self.completed.append(result)
+        self._record_result(result)
         return result
 
     def _access_page(self, page: int):
@@ -182,7 +191,7 @@ class CacheSystem(BaselineSystem):
                 size_bytes=128, payload=(waiter, page)))
             yield waiter
             self.cache.fill(page)
-            self.pages_fetched += 1
+            self._m_pages_fetched.inc()
         finally:
             self.fault_unit.release(grant)
 

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.mem.allocator import PlacementPolicy
 from repro.mem.node import GlobalMemory
+from repro.obs.metrics import MetricsRegistry
 from repro.params import DEFAULT_PARAMS, CpuParams, SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric
@@ -14,7 +15,14 @@ from repro.sim.resources import Resource
 
 
 class BaselineSystem:
-    """Environment + fabric + rack memory, without pulse hardware."""
+    """Environment + fabric + rack memory, without pulse hardware.
+
+    Every baseline shares the pulse cluster's observability contract: a
+    single :class:`~repro.obs.metrics.MetricsRegistry` carrying the
+    fabric's byte counters, the memory nodes' DRAM gauges, and the
+    system-wide ``request.latency_ns`` histogram, so one ``snapshot()``
+    compares all five systems.
+    """
 
     def __init__(self, node_count: int = 1,
                  params: Optional[SystemParams] = None,
@@ -23,14 +31,40 @@ class BaselineSystem:
                  seed: int = 0):
         self.params = params if params is not None else DEFAULT_PARAMS
         self.env = Environment()
-        self.fabric = Fabric(self.env, self.params.network, seed=seed)
+        self.registry = MetricsRegistry(clock=lambda: self.env.now)
+        self.fabric = Fabric(self.env, self.params.network, seed=seed,
+                             registry=self.registry)
         capacity = (node_capacity if node_capacity is not None
                     else self.params.memory.node_capacity_bytes)
         self.memory = GlobalMemory(node_count, capacity, policy)
+        for node in self.memory.nodes:
+            node.attach_metrics(self.registry, clock=lambda: self.env.now)
+        self._latency = self.registry.histogram("request.latency_ns")
+        self._m_traversals = self.registry.counter(
+            "client0.client.traversals")
+        self._m_result_faults = self.registry.counter(
+            "client0.client.faults")
 
     @property
     def node_count(self) -> int:
         return self.memory.node_count
+
+    def begin_measurement(self) -> None:
+        """Reset metrics + byte windows for the post-warmup window."""
+        self.registry.reset()
+        self.fabric.begin_window()
+
+    def metrics_snapshot(self) -> dict:
+        """One JSON-able export of every metric in the system."""
+        return self.registry.snapshot()
+
+    def _record_result(self, result) -> None:
+        """Account one finished traversal in the registry."""
+        self._m_traversals.inc()
+        if result.faulted:
+            self._m_result_faults.inc()
+        self._latency.record(result.latency_ns)
+        self.completed.append(result)
 
     def _hold(self, resource: Resource, duration: float):
         grant = resource.request()

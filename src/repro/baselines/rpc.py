@@ -33,11 +33,33 @@ RPC_KIND = "rpc"
 
 
 class RpcServerStats:
-    def __init__(self):
-        self.requests = 0
-        self.iterations = 0
-        self.bytes_loaded = 0
-        self.busy_ns = 0.0
+    """Registry-backed view of one RPC server's counters."""
+
+    def __init__(self, registry=None, prefix: str = "rpc"):
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.prefix = prefix
+
+    def _counter(self, name: str):
+        return self.registry.counter(f"{self.prefix}.{name}")
+
+    @property
+    def requests(self) -> int:
+        return self._counter("requests").value
+
+    @property
+    def iterations(self) -> int:
+        return self._counter("iterations").value
+
+    @property
+    def bytes_loaded(self) -> int:
+        return self._counter("bytes_loaded").value
+
+    @property
+    def busy_ns(self) -> float:
+        return self._counter("busy_ns").value
 
 
 class _RpcServer:
@@ -55,7 +77,13 @@ class _RpcServer:
         #: eRPC is run-to-completion: each worker core handles its own
         #: rx/tx, so stack capacity scales with the worker pool
         self.stack = Resource(self.env, capacity=workers)
-        self.stats = RpcServerStats()
+        registry = system.registry
+        prefix = f"{node.name}.rpc"
+        self.stats = RpcServerStats(registry, prefix)
+        self._m_requests = registry.counter(f"{prefix}.requests")
+        self._m_iterations = registry.counter(f"{prefix}.iterations")
+        self._m_bytes = registry.counter(f"{prefix}.bytes_loaded")
+        self._m_busy = registry.counter(f"{prefix}.busy_ns")
         self.env.process(self._serve_loop())
 
     def _serve_loop(self):
@@ -72,11 +100,11 @@ class _RpcServer:
         grant = self.workers.request()
         yield grant
         started = self.env.now
-        self.stats.requests += 1
+        self._m_requests.inc()
         try:
             response = yield from self._execute(request)
         finally:
-            self.stats.busy_ns += self.env.now - started
+            self._m_busy.inc(self.env.now - started)
             self.workers.release(grant)
         yield from system._hold(self.stack, net.dpdk_stack_ns)
         system.fabric.send(Message(
@@ -133,8 +161,8 @@ class _RpcServer:
                     RequestStatus.FAULT, str(exc))
 
             iterations += 1
-            self.stats.iterations += 1
-            self.stats.bytes_loaded += step.load_bytes
+            self._m_iterations.inc()
+            self._m_bytes.inc(step.load_bytes)
             yield self.env.timeout(
                 step.instructions_executed * cpu.instruction_ns())
 
@@ -229,7 +257,7 @@ class RpcSystem(BaselineSystem):
             faulted=faulted,
             fault_reason=response.fault_reason,
         )
-        self.completed.append(result)
+        self._record_result(result)
         return result
 
     def _send_to_owner(self, request: TraversalRequest):

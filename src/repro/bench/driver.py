@@ -12,7 +12,7 @@ throughput is completions over the measurement window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.iterator import TraversalResult
 
@@ -27,6 +27,9 @@ class WorkloadStats:
     faults: int
     total_hops: int
     results: List[TraversalResult] = field(repr=False, default_factory=list)
+    #: ``registry.snapshot()`` taken when the workload finished (systems
+    #: without a metrics registry leave this None)
+    metrics: Optional[Dict] = field(repr=False, default=None)
 
     @property
     def throughput_per_s(self) -> float:
@@ -86,6 +89,11 @@ def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
             cursor["next"] = index + 1
             if index == warmup:
                 measure_start["t"] = env.now
+                begin = getattr(system, "begin_measurement", None)
+                if begin is not None:
+                    # Drop warmup-time metrics so histograms and
+                    # utilizations cover only the measured window.
+                    begin()
             iterator, args = operations[index]
             result = yield from system.traverse(iterator, *args)
             results[index] = result
@@ -97,6 +105,7 @@ def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
 
     measured = [r for r in results[warmup:] if r is not None]
     start = measure_start["t"] if measure_start["t"] is not None else 0.0
+    snapshot_fn = getattr(system, "metrics_snapshot", None)
     return WorkloadStats(
         completed=len(measured),
         duration_ns=env.now - start,
@@ -104,4 +113,5 @@ def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
         faults=sum(1 for r in measured if r.faulted),
         total_hops=sum(r.hops for r in measured),
         results=measured,
+        metrics=snapshot_fn() if snapshot_fn is not None else None,
     )

@@ -10,9 +10,16 @@ ends with one artifact to read::
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+#: file written by the benchmarks holding {system: registry.snapshot()}
+METRICS_SNAPSHOT_FILE = "metrics_snapshot.json"
+
+#: accelerator span stages, in pipeline order (Fig 9's x-axis)
+SPAN_STAGES = ("netstack", "scheduler", "memory", "logic")
 
 #: figure order + captions; files are <key>.txt in the results dir
 SECTIONS: List[Tuple[str, str, str]] = [
@@ -53,6 +60,76 @@ SECTIONS: List[Tuple[str, str, str]] = [
 ]
 
 
+def span_breakdown(snapshot: Dict) -> Dict[str, Dict[str, float]]:
+    """Per-stage accelerator timing from one registry snapshot.
+
+    Aggregates every ``<node>.acc.span.<stage>`` histogram across
+    accelerators; ``mean_ns`` is the per-event service time (per message
+    for netstack, per request for scheduler, per iteration for
+    memory/logic) -- the quantities Fig 9 plots.
+    """
+    histograms = snapshot.get("histograms", {})
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for stage in SPAN_STAGES:
+        suffix = f".acc.span.{stage}"
+        total = 0.0
+        count = 0
+        for name, hist in histograms.items():
+            if name.endswith(suffix):
+                total += hist.get("sum", 0.0)
+                count += hist.get("count", 0)
+        breakdown[stage] = {
+            "total_ns": total,
+            "count": count,
+            "mean_ns": total / count if count else 0.0,
+        }
+    return breakdown
+
+
+def latency_summary(snapshot: Dict) -> Optional[Dict[str, float]]:
+    """The ``request.latency_ns`` histogram summary, if recorded."""
+    hist = snapshot.get("histograms", {}).get("request.latency_ns")
+    if not hist or not hist.get("count"):
+        return None
+    return hist
+
+
+def render_metrics(snapshots: Dict[str, Dict]) -> List[str]:
+    """Markdown lines for the observability section of the report."""
+    lines: List[str] = []
+    lat_rows = []
+    for system, snapshot in sorted(snapshots.items()):
+        summary = latency_summary(snapshot)
+        if summary:
+            lat_rows.append(
+                f"| {system} | {summary['count']} "
+                f"| {summary['mean']:.0f} | {summary['p50']:.0f} "
+                f"| {summary['p99']:.0f} | {summary['p999']:.0f} |")
+    if lat_rows:
+        lines.append("Request latency from each system's "
+                     "`request.latency_ns` histogram (ns):")
+        lines.append("")
+        lines.append("| system | requests | mean | p50 | p99 | p999 |")
+        lines.append("|---|---|---|---|---|---|")
+        lines.extend(lat_rows)
+        lines.append("")
+    for system, snapshot in sorted(snapshots.items()):
+        breakdown = span_breakdown(snapshot)
+        if not any(b["count"] for b in breakdown.values()):
+            continue
+        lines.append(f"Per-stage accelerator spans for {system} "
+                     "(mean service time, Fig 9):")
+        lines.append("")
+        lines.append("| stage | events | mean ns |")
+        lines.append("|---|---|---|")
+        for stage in SPAN_STAGES:
+            entry = breakdown[stage]
+            lines.append(f"| {stage} | {entry['count']} "
+                         f"| {entry['mean_ns']:.1f} |")
+        lines.append("")
+    return lines
+
+
 def collect(results_dir: Path) -> Dict[str, str]:
     """Read every known results table that exists."""
     tables = {}
@@ -87,6 +164,20 @@ def render(results_dir: Path) -> str:
         else:
             lines.append(f"*not yet generated "
                          f"(run benchmarks/test_{key.split('_')[0]}*)*")
+        lines.append("")
+    snapshot_path = results_dir / METRICS_SNAPSHOT_FILE
+    lines.append("## Observability — metrics registry")
+    lines.append("")
+    lines.append("Counters, gauges, and span histograms exported by "
+                 "`MetricsRegistry.snapshot()` during the benchmark "
+                 "runs (see docs/architecture.md, Observability).")
+    lines.append("")
+    if snapshot_path.exists():
+        snapshots = json.loads(snapshot_path.read_text())
+        lines.extend(render_metrics(snapshots))
+    else:
+        lines.append("*not yet generated "
+                     "(run benchmarks/test_fig9_breakdown.py)*")
         lines.append("")
     missing = [key for key, _t, _c in SECTIONS if key not in tables]
     if missing:

@@ -26,7 +26,6 @@ re-routes (section 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.messages import RequestStatus, TraversalRequest
@@ -35,6 +34,7 @@ from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.node import MemoryNode
 from repro.mem.translation import ProtectionFault
+from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric, Message
@@ -44,22 +44,75 @@ from repro.sim.trace import NullTracer
 #: message kind tag for pulse traversal traffic
 PULSE_KIND = "pulse"
 
+#: per-stage span suffixes recorded under ``<node>.acc.span.<stage>``
+SPAN_STAGES = ("netstack", "scheduler", "memory", "logic")
 
-@dataclass
+
 class AcceleratorStats:
-    """Aggregate phase times; Fig 9's breakdown divides these by counts."""
+    """Compatibility view over one accelerator's registry metrics.
 
-    requests: int = 0
-    responses: int = 0
-    iterations: int = 0
-    rerouted: int = 0
-    faults: int = 0
-    netstack_ns: float = 0.0
-    dispatch_ns: float = 0.0
-    memory_ns: float = 0.0
-    logic_ns: float = 0.0
-    bytes_loaded: int = 0
-    instructions: int = 0
+    Older code (and the Fig 9 benchmark) reads aggregate phase times
+    here; the storage now lives in the
+    :class:`~repro.obs.metrics.MetricsRegistry` as counters and span
+    histograms, so one ``registry.snapshot()`` carries the same data.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "acc"):
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.prefix = prefix
+
+    def _counter(self, name: str):
+        return self.registry.counter(f"{self.prefix}.{name}")
+
+    def _span(self, stage: str):
+        return self.registry.histogram(f"{self.prefix}.span.{stage}")
+
+    @property
+    def requests(self) -> int:
+        return self._counter("requests").value
+
+    @property
+    def responses(self) -> int:
+        return self._counter("responses").value
+
+    @property
+    def iterations(self) -> int:
+        return self._counter("iterations").value
+
+    @property
+    def rerouted(self) -> int:
+        return self._counter("rerouted").value
+
+    @property
+    def faults(self) -> int:
+        return self._counter("faults").value
+
+    @property
+    def bytes_loaded(self) -> int:
+        return self._counter("bytes_loaded").value
+
+    @property
+    def instructions(self) -> int:
+        return self._counter("instructions").value
+
+    @property
+    def netstack_ns(self) -> float:
+        return self._span("netstack").sum
+
+    @property
+    def dispatch_ns(self) -> float:
+        return self._span("scheduler").sum
+
+    @property
+    def memory_ns(self) -> float:
+        return self._span("memory").sum
+
+    @property
+    def logic_ns(self) -> float:
+        return self._span("logic").sum
 
     def per_iteration_memory_ns(self) -> float:
         return self.memory_ns / self.iterations if self.iterations else 0.0
@@ -94,7 +147,8 @@ class Accelerator:
                  shared_interconnect: bool = True,
                  split_loads: bool = False,
                  scheduler_policy: str = "fifo",
-                 tracer=None):
+                 tracer=None,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.node = node
         self.fabric = fabric
@@ -137,7 +191,27 @@ class Accelerator:
         self.split_loads = split_loads
 
         self.tracer = tracer if tracer is not None else NullTracer()
-        self.stats = AcceleratorStats()
+        if registry is None:
+            registry = MetricsRegistry(clock=lambda: env.now)
+        self.registry = registry
+        prefix = f"{self.name}.acc"
+        self.stats = AcceleratorStats(registry, prefix)
+        self._m_requests = registry.counter(f"{prefix}.requests")
+        self._m_responses = registry.counter(f"{prefix}.responses")
+        self._m_iterations = registry.counter(f"{prefix}.iterations")
+        self._m_rerouted = registry.counter(f"{prefix}.rerouted")
+        self._m_faults = registry.counter(f"{prefix}.faults")
+        self._m_bytes = registry.counter(f"{prefix}.bytes_loaded")
+        self._m_instructions = registry.counter(f"{prefix}.instructions")
+        self._span_netstack = registry.histogram(f"{prefix}.span.netstack")
+        self._span_scheduler = registry.histogram(
+            f"{prefix}.span.scheduler")
+        self._span_memory = registry.histogram(f"{prefix}.span.memory")
+        self._span_logic = registry.histogram(f"{prefix}.span.logic")
+        registry.gauge(f"{prefix}.memory_pipeline_utilization",
+                       fn=self.memory_pipeline_utilization)
+        registry.gauge(f"{prefix}.memory_bandwidth_bytes_per_ns",
+                       fn=self.memory_bandwidth_used)
         env.process(self._rx_loop())
 
     # -- processes ----------------------------------------------------------
@@ -152,12 +226,12 @@ class Accelerator:
 
         yield from self._hold(self.rx_unit, acc.netstack_occupancy_ns)
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
-        self.stats.netstack_ns += acc.netstack_ns
-        self.stats.requests += 1
+        self._span_netstack.record(acc.netstack_ns)
+        self._m_requests.inc()
 
         yield from self._hold(self.scheduler_unit,
                               acc.scheduler_dispatch_ns)
-        self.stats.dispatch_ns += acc.scheduler_dispatch_ns
+        self._span_scheduler.record(acc.scheduler_dispatch_ns)
 
         self.tracer.record(self.name, "rx", request.request_id,
                            cur_ptr=hex(request.cur_ptr))
@@ -175,8 +249,8 @@ class Accelerator:
 
         yield from self._hold(self.tx_unit, acc.netstack_occupancy_ns)
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
-        self.stats.netstack_ns += acc.netstack_ns
-        self.stats.responses += 1
+        self._span_netstack.record(acc.netstack_ns)
+        self._m_responses.inc()
         self.fabric.send(Message(
             kind=PULSE_KIND,
             src=self.name,
@@ -212,6 +286,7 @@ class Accelerator:
                 loads = program.naive_load_runs()
             else:
                 loads = [(0, window_size)]
+            mem_phase_ns = 0.0
             for _offset, load_bytes in loads:
                 occupancy = acc.occupancy_ns(load_bytes)
                 yield from self._hold(core.memory_pipeline, occupancy)
@@ -221,22 +296,23 @@ class Accelerator:
                     yield from self._hold(self.interconnect,
                                           interconnect_ns)
                 yield self.env.timeout(acc.dram_latency_ns)
-                self.stats.memory_ns += (occupancy + interconnect_ns
-                                         + acc.dram_latency_ns)
+                mem_phase_ns += (occupancy + interconnect_ns
+                                 + acc.dram_latency_ns)
+            self._span_memory.record(mem_phase_ns)
 
             try:
                 step = machine.run_iteration(
                     self._read_fn(entry), self._write_fn())
             except (ExecutionFault, ProtectionFault) as exc:
-                self.stats.faults += 1
+                self._m_faults.inc()
                 return request.advanced(
                     machine.cur_ptr, bytes(machine.scratch), iterations,
                     RequestStatus.FAULT, str(exc))
 
             iterations += 1
-            self.stats.iterations += 1
-            self.stats.bytes_loaded += step.load_bytes
-            self.stats.instructions += step.instructions_executed
+            self._m_iterations.inc()
+            self._m_bytes.inc(step.load_bytes)
+            self._m_instructions.inc(step.instructions_executed)
 
             # Logic phase: one FPGA cycle per executed logic instruction.
             # The datapath is pipelined: it is *occupied* for only
@@ -246,7 +322,7 @@ class Accelerator:
             occupancy = logic_ns / acc.logic_pipeline_depth
             yield from self._hold(core.logic_pipeline, occupancy)
             yield self.env.timeout(logic_ns - occupancy)
-            self.stats.logic_ns += logic_ns
+            self._span_logic.record(logic_ns)
 
             if step.outcome is IterationOutcome.DONE:
                 return request.advanced(
@@ -263,13 +339,13 @@ class Accelerator:
         """Translation miss: re-route if another node owns the pointer."""
         owner = self.node.addrspace.node_of(load_addr)
         if owner is not None and owner != self.node.node_id:
-            self.stats.rerouted += 1
+            self._m_rerouted.inc()
             response = request.advanced(
                 machine.cur_ptr, bytes(machine.scratch), iterations,
                 RequestStatus.RUNNING)
             response.node_hops = request.node_hops + 1
             return response
-        self.stats.faults += 1
+        self._m_faults.inc()
         return request.advanced(
             machine.cur_ptr, bytes(machine.scratch), iterations,
             RequestStatus.FAULT,

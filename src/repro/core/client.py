@@ -20,6 +20,7 @@ from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.node import GlobalMemory
 from repro.mem.translation import TranslationFault
+from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
 from repro.sim.engine import Environment, Event
 from repro.sim.network import Fabric, Message
@@ -41,7 +42,8 @@ class PulseClient:
                  params: SystemParams, engine: OffloadEngine,
                  memory: GlobalMemory, name: str = "client0",
                  switch_name: str = "switch", stack_cores: int = 8,
-                 tracer=None):
+                 tracer=None,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.fabric = fabric
         self.params = params
@@ -54,9 +56,35 @@ class PulseClient:
         self.stack_unit = Resource(env, capacity=stack_cores)
         self.tracer = tracer if tracer is not None else NullTracer()
         self._waiters: Dict[tuple, Event] = {}
-        self.retransmissions = 0
+        if registry is None:
+            registry = fabric.registry
+        self.registry = registry
+        prefix = f"{name}.client"
+        self._m_retransmissions = registry.counter(
+            f"{prefix}.retransmissions")
+        self._m_requests_lost = registry.counter(f"{prefix}.requests_lost")
+        self._m_duplicates = registry.counter(
+            f"{prefix}.duplicates_dropped")
+        self._m_traversals = registry.counter(f"{prefix}.traversals")
+        self._m_faults = registry.counter(f"{prefix}.faults")
+        #: issue -> complete latency for every traversal; one shared
+        #: name across all systems so a single snapshot() compares them
+        self._latency = registry.histogram("request.latency_ns")
         self.completed: List[TraversalResult] = []
         env.process(self._rx_loop())
+
+    # Compatibility properties over the registry-backed counters.
+    @property
+    def retransmissions(self) -> int:
+        return self._m_retransmissions.value
+
+    @property
+    def duplicates_dropped(self) -> int:
+        return self._m_duplicates.value
+
+    @property
+    def requests_lost(self) -> int:
+        return self._m_requests_lost.value
 
     # -- receive path ---------------------------------------------------------
     def _rx_loop(self):
@@ -69,9 +97,11 @@ class PulseClient:
         response: TraversalRequest = message.payload
         waiter = self._waiters.pop(response.request_id, None)
         if waiter is not None:
+            waiter.succeed(response)
+        else:
             # Late duplicates (after a retransmission) find no waiter and
             # are dropped, like any UDP duplicate.
-            waiter.succeed(response)
+            self._m_duplicates.inc()
 
     # -- submit path ------------------------------------------------------------
     def traverse(self, iterator: PulseIterator, *args):
@@ -80,7 +110,7 @@ class PulseClient:
         decision = self.engine.decide(iterator.program)
         if not decision.offload:
             result = yield from self._execute_local(iterator, args, start)
-            self.completed.append(result)
+            self._finish(result)
             return result
 
         request = self.engine.make_request(iterator, *args,
@@ -110,8 +140,15 @@ class PulseClient:
                            status=response.status.value,
                            iterations=response.iterations_done,
                            hops=response.node_hops)
-        self.completed.append(result)
+        self._finish(result)
         return result
+
+    def _finish(self, result: TraversalResult) -> None:
+        self._m_traversals.inc()
+        if result.faulted:
+            self._m_faults.inc()
+        self._latency.record(result.latency_ns)
+        self.completed.append(result)
 
     def _send_and_wait(self, request: TraversalRequest):
         waiter = self.env.event()
@@ -132,15 +169,19 @@ class PulseClient:
             if waiter.processed:
                 return waiter.value
             attempts += 1
-            self.retransmissions += 1
-            self.tracer.record(self.name, "retransmit",
-                               request.request_id, attempt=attempts)
-            request.attempt = attempts
             if attempts > MAX_RETRIES:
+                # The budget is exhausted: give up *without* sending (or
+                # counting) another copy -- only transmitted copies count
+                # as retransmissions.
                 self._waiters.pop(request.request_id, None)
+                self._m_requests_lost.inc()
                 raise RequestLost(
                     f"request {request.request_id} lost after "
                     f"{attempts} attempts")
+            self._m_retransmissions.inc()
+            self.tracer.record(self.name, "retransmit",
+                               request.request_id, attempt=attempts)
+            request.attempt = attempts
 
     # -- local fallback -----------------------------------------------------------
     def _execute_local(self, iterator: PulseIterator, args, start: float):

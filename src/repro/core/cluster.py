@@ -26,6 +26,7 @@ from repro.core.offload import OffloadEngine
 from repro.core.switch import PulseSwitch
 from repro.mem.allocator import PlacementPolicy
 from repro.mem.node import GlobalMemory
+from repro.obs.metrics import MetricsRegistry
 from repro.params import DEFAULT_PARAMS, SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric
@@ -46,28 +47,41 @@ class PulseCluster:
                  scheduler_policy: str = "fifo",
                  tcam_capacity: int = 1024,
                  client_count: int = 1,
+                 client_table_capacity: Optional[int] = None,
                  trace: bool = False,
                  seed: int = 0):
         self.params = params if params is not None else DEFAULT_PARAMS
         self.env = Environment()
-        self.fabric = Fabric(self.env, self.params.network, seed=seed)
+        #: one registry carries every metric in the rack; snapshot() is
+        #: the single observability export (see docs/architecture.md)
+        self.registry = MetricsRegistry(clock=lambda: self.env.now)
+        self.fabric = Fabric(self.env, self.params.network, seed=seed,
+                             registry=self.registry)
         capacity = (node_capacity if node_capacity is not None
                     else self.params.memory.node_capacity_bytes)
         self.memory = GlobalMemory(node_count, capacity, policy,
                                    tcam_capacity)
+        for node in self.memory.nodes:
+            node.attach_metrics(self.registry, clock=lambda: self.env.now)
         self.tracer = (Tracer(self.env) if trace
                        else NullTracer())
+        switch_kwargs = {}
+        if client_table_capacity is not None:
+            switch_kwargs["client_table_capacity"] = client_table_capacity
         self.switch = PulseSwitch(self.env, self.fabric,
                                   self.memory.addrspace, self.params,
                                   bounce_to_client=bounce_to_client,
-                                  tracer=self.tracer)
+                                  tracer=self.tracer,
+                                  registry=self.registry,
+                                  **switch_kwargs)
         self.accelerators: List[Accelerator] = [
             Accelerator(self.env, node, self.fabric, self.params,
                         cores=cores_per_accelerator,
                         shared_interconnect=shared_interconnect,
                         split_loads=split_loads,
                         scheduler_policy=scheduler_policy,
-                        tracer=self.tracer)
+                        tracer=self.tracer,
+                        registry=self.registry)
             for node in self.memory.nodes
         ]
         if client_count < 1:
@@ -79,7 +93,8 @@ class PulseCluster:
         self.clients: List[PulseClient] = [
             PulseClient(self.env, self.fabric, self.params,
                         self.engines[i], self.memory,
-                        name=f"client{i}", tracer=self.tracer)
+                        name=f"client{i}", tracer=self.tracer,
+                        registry=self.registry)
             for i in range(client_count)
         ]
         # Back-compat single-client accessors.
@@ -136,7 +151,24 @@ class PulseCluster:
         return peak_bytes / (duration_ns
                              * self.params.network.link_bytes_per_ns)
 
+    def begin_measurement(self) -> None:
+        """Start the post-warmup measurement window.
+
+        Resets every registry metric and re-bases the busy-time windows
+        of the network endpoints, so utilizations and histograms cover
+        only what happens after this call.
+        """
+        self.registry.reset()
+        self.fabric.begin_window()
+        for acc in self.accelerators:
+            for core in acc.cores:
+                core.memory_pipeline.begin_window()
+                core.logic_pipeline.begin_window()
+
+    def metrics_snapshot(self) -> dict:
+        """One JSON-able export of every metric in the rack."""
+        return self.registry.snapshot()
+
     def reset_counters(self) -> None:
         self.memory.reset_counters()
-        for acc in self.accelerators:
-            acc.stats = type(acc.stats)()
+        self.registry.reset()

@@ -57,8 +57,12 @@ class TraversalRequest:
     #: sub-4% network utilization is impossible if every packet ships
     #: the unrolled kernel.
     code_on_wire: bool = False
+    #: the 16-byte content digest naming the deployed program
+    #: (:meth:`~repro.isa.program.Program.digest`); empty only for
+    #: hand-built test messages
+    code_handle: bytes = b""
 
-    #: wire size of a program handle (id + length + checksum)
+    #: wire size of a program handle (the program's content digest)
     CODE_HANDLE_BYTES = 16
 
     def wire_bytes(self) -> int:

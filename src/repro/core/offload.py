@@ -40,14 +40,17 @@ class OffloadEngine:
         self.params = params
         self.client_id = client_id
         self._counter = 0
-        self._decisions: Dict[int, OffloadDecision] = {}
-        #: programs already shipped to the rack's accelerators; later
-        #: requests carry only a 16-byte handle
+        self._decisions: Dict[bytes, OffloadDecision] = {}
+        #: digests of programs already shipped to the rack's
+        #: accelerators; later requests carry only the 16-byte handle.
+        #: Keyed by content digest, not id(): id() values are reused
+        #: after garbage collection, and two equal programs compiled
+        #: separately must share one deployment.
         self._deployed: set = set()
 
     def decide(self, program: Program) -> OffloadDecision:
-        """Analyze (once per program) and cache the offload decision."""
-        key = id(program)
+        """Analyze (once per program content) and cache the decision."""
+        key = program.digest()
         decision = self._decisions.get(key)
         if decision is None:
             analysis = analyze(program, self.params)
@@ -67,8 +70,9 @@ class OffloadEngine:
             raise TypeError(
                 f"{type(iterator).__name__} does not define a program")
         cur_ptr, scratch = iterator.init(*args)
-        first_use = id(iterator.program) not in self._deployed
-        self._deployed.add(id(iterator.program))
+        handle = iterator.program.digest()
+        first_use = handle not in self._deployed
+        self._deployed.add(handle)
         return TraversalRequest(
             request_id=self.next_request_id(),
             program=iterator.program,
@@ -77,6 +81,7 @@ class OffloadEngine:
             status=RequestStatus.RUNNING,
             issued_at_ns=issued_at_ns,
             code_on_wire=first_use,
+            code_handle=handle,
             tenant=self.client_id,
         )
 
@@ -103,5 +108,6 @@ class OffloadEngine:
             iterations_done=response.iterations_done,
             issued_at_ns=issued_at_ns,
             node_hops=response.node_hops,
+            code_handle=response.code_handle,
             tenant=response.tenant,
         )

@@ -19,15 +19,19 @@ CPU node's network stack on every inter-node hop.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.accelerator import PULSE_KIND
 from repro.core.messages import RequestStatus, TraversalRequest
 from repro.mem.addrspace import AddressSpace
+from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric, Message
 from repro.sim.trace import NullTracer
+
+#: default bound on the request-id -> client table (switch SRAM is finite)
+CLIENT_TABLE_CAPACITY = 1024
 
 
 class PulseSwitch:
@@ -36,7 +40,11 @@ class PulseSwitch:
     def __init__(self, env: Environment, fabric: Fabric,
                  addrspace: AddressSpace, params: SystemParams,
                  name: str = "switch", bounce_to_client: bool = False,
-                 tracer=None):
+                 tracer=None,
+                 client_table_capacity: int = CLIENT_TABLE_CAPACITY,
+                 registry: Optional[MetricsRegistry] = None):
+        if client_table_capacity < 1:
+            raise ValueError("client table capacity must be >= 1")
         self.env = env
         self.fabric = fabric
         self.addrspace = addrspace
@@ -46,13 +54,49 @@ class PulseSwitch:
         self.tracer = tracer if tracer is not None else NullTracer()
         self.endpoint = fabric.register(name)
         #: request id -> client endpoint name, learned from requests;
-        #: the hardware encodes this in the packet's source fields
+        #: the hardware encodes this in the packet's source fields.
+        #: Insertion-ordered and bounded: entries whose terminal response
+        #: was lost would otherwise pin SRAM forever, so the oldest entry
+        #: is evicted once the table is full (FIFO ~ oldest-first).
         self._client_of: Dict[tuple, str] = {}
-        self.routed_to_memory = 0
-        self.rerouted_node_to_node = 0
-        self.returned_to_client = 0
-        self.dropped_stale = 0
+        self.client_table_capacity = client_table_capacity
+        if registry is None:
+            registry = fabric.registry
+        self.registry = registry
+        self._m_routed = registry.counter("switch.routed_to_memory")
+        self._m_rerouted = registry.counter(
+            "switch.rerouted_node_to_node")
+        self._m_returned = registry.counter("switch.returned_to_client")
+        self._m_dropped_stale = registry.counter("switch.dropped_stale")
+        self._m_evicted = registry.counter("switch.evicted_entries")
+        registry.gauge("switch.client_table_occupancy",
+                       fn=lambda: len(self._client_of))
         env.process(self._route_loop())
+
+    # Compatibility properties over the registry-backed counters.
+    @property
+    def routed_to_memory(self) -> int:
+        return self._m_routed.value
+
+    @property
+    def rerouted_node_to_node(self) -> int:
+        return self._m_rerouted.value
+
+    @property
+    def returned_to_client(self) -> int:
+        return self._m_returned.value
+
+    @property
+    def dropped_stale(self) -> int:
+        return self._m_dropped_stale.value
+
+    @property
+    def evicted_entries(self) -> int:
+        return self._m_evicted.value
+
+    @property
+    def client_table_occupancy(self) -> int:
+        return len(self._client_of)
 
     @property
     def rule_count(self) -> int:
@@ -75,6 +119,10 @@ class PulseSwitch:
         if not from_memory:
             # Request from a client: remember who to reply to (the
             # hardware carries this in the packet's source fields).
+            if (request.request_id not in self._client_of
+                    and len(self._client_of) >= self.client_table_capacity):
+                self._client_of.pop(next(iter(self._client_of)))
+                self._m_evicted.inc()
             self._client_of[request.request_id] = message.src
 
         client = self._client_of.get(request.request_id, message.src)
@@ -82,7 +130,7 @@ class PulseSwitch:
         if request.status is RequestStatus.RUNNING:
             if from_memory and self.bounce_to_client:
                 # pulse-ACC: hand the continuation back to the CPU node.
-                self.returned_to_client += 1
+                self._m_returned.inc()
                 self._forward(message, client)
                 return
             owner = self.addrspace.node_of(request.cur_ptr)
@@ -90,16 +138,16 @@ class PulseSwitch:
                 request.status = RequestStatus.FAULT
                 request.fault_reason = (
                     f"switch: unroutable pointer {request.cur_ptr:#x}")
-                self.returned_to_client += 1
+                self._m_returned.inc()
                 self._forward(message, client)
                 return
             if from_memory:
-                self.rerouted_node_to_node += 1
+                self._m_rerouted.inc()
                 self.tracer.record(self.name, "reroute",
                                    request.request_id,
                                    dst=f"mem{owner}")
             else:
-                self.routed_to_memory += 1
+                self._m_routed.inc()
                 self.tracer.record(self.name, "route_to_memory",
                                    request.request_id,
                                    dst=f"mem{owner}")
@@ -110,9 +158,9 @@ class PulseSwitch:
         # id is unknown is a stale duplicate (its original already
         # completed, e.g. after a spurious retransmission): drop it.
         if from_memory and request.request_id not in self._client_of:
-            self.dropped_stale += 1
+            self._m_dropped_stale.inc()
             return
-        self.returned_to_client += 1
+        self._m_returned.inc()
         self.tracer.record(self.name, "return_to_client",
                            request.request_id, dst=client)
         self._client_of.pop(request.request_id, None)

@@ -43,6 +43,7 @@ class Program:
             raise IsaError("scratch_bytes must be non-negative")
         self._validate(max_load_bytes)
         self._wire_bytes: Optional[int] = None
+        self._digest: Optional[bytes] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -69,6 +70,24 @@ class Program:
             from repro.isa.encoding import encode
             self._wire_bytes = len(encode(self))
         return self._wire_bytes
+
+    def digest(self) -> bytes:
+        """16-byte content digest of the encoded program (memoized).
+
+        Two separately-constructed programs with the same opcodes,
+        operands, and constant pool share a digest, so the offload
+        engine's deploy-once cache is keyed by *content*, not object
+        identity.  The digest doubles as the wire handle
+        (:attr:`~repro.core.messages.TraversalRequest.CODE_HANDLE_BYTES`
+        is exactly this size).
+        """
+        if self._digest is None:
+            import hashlib
+
+            from repro.isa.encoding import encode
+            self._digest = hashlib.blake2b(
+                encode(self), digest_size=16).digest()
+        return self._digest
 
     def describe(self) -> str:
         lines = [f"; program {self.name} (scratch={self.scratch_bytes}B)"]

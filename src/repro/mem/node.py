@@ -35,6 +35,26 @@ class MemoryNode:
         self.table = RangeTranslationTable(capacity=tcam_capacity)
         self.virt_start, self.virt_end = addrspace.range_of(node_id)
 
+    def attach_metrics(self, registry, clock) -> None:
+        """Register DRAM-traffic gauges (``mem<i>.dram.*``).
+
+        Callback gauges read the live byte counters at snapshot time, so
+        the node's bandwidth shows up in ``registry.snapshot()`` without
+        per-access bookkeeping.  ``clock`` supplies simulated time for
+        the bytes/ns gauge.
+        """
+        prefix = f"{self.name}.dram"
+        registry.gauge(f"{prefix}.bytes_read",
+                       fn=lambda: self.memory.bytes_read)
+        registry.gauge(f"{prefix}.bytes_written",
+                       fn=lambda: self.memory.bytes_written)
+
+        def bandwidth() -> float:
+            now = clock()
+            return self.bytes_served / now if now > 0 else 0.0
+
+        registry.gauge(f"{prefix}.bandwidth_bytes_per_ns", fn=bandwidth)
+
     def owns(self, vaddr: int) -> bool:
         """True if ``vaddr`` falls in this node's partition of the rack."""
         return self.virt_start <= vaddr < self.virt_end

@@ -1,0 +1,24 @@
+"""Observability: metrics registry, spans, and snapshots.
+
+See :mod:`repro.obs.metrics` for the registry and metric kinds and
+:mod:`repro.obs.span` for per-stage request timing.  The snapshot schema
+is documented in ``docs/architecture.md`` (Observability section).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.span import Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+]

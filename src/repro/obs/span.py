@@ -1,0 +1,84 @@
+"""Per-request, per-stage timing spans.
+
+A :class:`Span` times one stage of one request and records the duration
+into a registry histogram, generalizing the ad-hoc Fig 9 instrumentation
+(netstack / scheduler / memory pipeline / logic).  Two usage modes:
+
+* **measured** -- a context manager around the simulated work; the
+  duration is the simulated-clock delta between enter and exit.  Use
+  this when the stage's wall time *is* the quantity of interest
+  (it includes queueing)::
+
+      with registry.span("mem0.acc.execute"):
+          yield from self._run(request)    # yields inside are fine
+
+  Context managers compose with generator-based processes because the
+  clock is the simulation clock, not the Python call stack.
+
+* **annotated** -- :meth:`Span.finish` with an explicit duration records
+  the *modeled* service time, excluding queueing.  Fig 9's breakdown is
+  built this way: the netstack span records exactly the 430 ns parse
+  latency even when the rx unit was contended::
+
+      registry.span("mem0.acc.span.netstack").finish(acc.netstack_ns)
+
+Each span records once; the histogram accumulates count/sum/quantiles
+per stage, so ``sum / count`` is the per-stage mean the report prints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import Histogram, MetricError
+
+__all__ = ["Span"]
+
+
+class Span:
+    """One timed stage, recorded into a histogram exactly once."""
+
+    __slots__ = ("_histogram", "_clock", "_start", "_closed")
+
+    def __init__(self, histogram: Histogram,
+                 clock: Callable[[], float]):
+        self._histogram = histogram
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._histogram.name
+
+    def start(self) -> "Span":
+        self._start = self._clock()
+        return self
+
+    def finish(self, duration: Optional[float] = None) -> float:
+        """Record the span; returns the recorded duration.
+
+        With ``duration`` the span is annotated with a modeled service
+        time; without it the measured clock delta since :meth:`start`
+        (or :meth:`__enter__`) is used.
+        """
+        if self._closed:
+            raise MetricError(f"span {self.name!r} already finished")
+        if duration is None:
+            if self._start is None:
+                raise MetricError(
+                    f"span {self.name!r} finished without start() or an "
+                    "explicit duration")
+            duration = self._clock() - self._start
+        self._closed = True
+        self._histogram.record(duration)
+        return duration
+
+    def __enter__(self) -> "Span":
+        return self.start()
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        # Record even on exception: the stage consumed that time.
+        if not self._closed:
+            self.finish()
+        return False

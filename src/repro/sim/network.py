@@ -10,7 +10,10 @@ because they differ per system -- that difference is exactly what Figs 4-6
 measure.
 
 Per-endpoint rx/tx byte counters feed Fig 6's network-bandwidth
-utilization numbers.
+utilization numbers.  They live in the fabric's
+:class:`~repro.obs.metrics.MetricsRegistry` (``net.<name>.tx_bytes``
+etc., plus bandwidth gauges); the endpoint attributes are thin
+compatibility properties over the registry.
 """
 
 from __future__ import annotations
@@ -19,8 +22,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.params import NetworkParams
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, SimulationError
 from repro.sim.resources import Resource, Store
 
 
@@ -46,43 +50,119 @@ class Endpoint:
     """A NIC attachment point: an inbox plus egress serialization."""
 
     def __init__(self, env: Environment, name: str,
-                 link_bytes_per_ns: float):
+                 link_bytes_per_ns: float,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.name = name
         self.inbox: Store = Store(env)
         self.egress = Resource(env, capacity=1)
         self.link_bytes_per_ns = link_bytes_per_ns
-        self.tx_bytes = 0
-        self.rx_bytes = 0
-        self.tx_messages = 0
-        self.rx_messages = 0
+        if registry is None:
+            registry = MetricsRegistry(clock=lambda: env.now)
+        self.registry = registry
+        prefix = f"net.{name}"
+        self._tx_bytes = registry.counter(f"{prefix}.tx_bytes")
+        self._rx_bytes = registry.counter(f"{prefix}.rx_bytes")
+        self._tx_messages = registry.counter(f"{prefix}.tx_messages")
+        self._rx_messages = registry.counter(f"{prefix}.rx_messages")
+        registry.gauge(f"{prefix}.tx_bandwidth_bytes_per_ns",
+                       fn=self._tx_bandwidth)
+        registry.gauge(f"{prefix}.rx_bandwidth_bytes_per_ns",
+                       fn=self._rx_bandwidth)
+        # Measurement window (see begin_window / network_utilization).
+        self._window_start = env.now
+        self._window_tx_base = 0
+        self._window_rx_base = 0
+
+    # Compatibility properties over the registry-backed counters.
+    @property
+    def tx_bytes(self) -> int:
+        return self._tx_bytes.value
+
+    @property
+    def rx_bytes(self) -> int:
+        return self._rx_bytes.value
+
+    @property
+    def tx_messages(self) -> int:
+        return self._tx_messages.value
+
+    @property
+    def rx_messages(self) -> int:
+        return self._rx_messages.value
+
+    def _tx_bandwidth(self) -> float:
+        return self.tx_bytes / self.env.now if self.env.now > 0 else 0.0
+
+    def _rx_bandwidth(self) -> float:
+        return self.rx_bytes / self.env.now if self.env.now > 0 else 0.0
+
+    def begin_window(self) -> None:
+        """Start a fresh byte-accounting window at the current time."""
+        self._window_start = self.env.now
+        self._window_tx_base = self.tx_bytes
+        self._window_rx_base = self.rx_bytes
 
     def network_utilization(self, elapsed: Optional[float] = None) -> float:
-        """Fraction of link bandwidth used (max of rx/tx directions)."""
-        window = elapsed if elapsed is not None else self.env.now
+        """Fraction of link bandwidth used (max of rx/tx directions).
+
+        The byte counts cover the window since construction or the last
+        :meth:`begin_window` call.  ``elapsed``, when given, must cover
+        that window: a shorter caller window would claim more bytes
+        moved than the link can carry (utilization > 1), which raises
+        :class:`SimulationError` instead of being reported.
+        """
+        window = (elapsed if elapsed is not None
+                  else self.env.now - self._window_start)
         if window <= 0:
             return 0.0
-        peak = max(self.tx_bytes, self.rx_bytes)
-        return peak / (window * self.link_bytes_per_ns)
+        peak = max(self.tx_bytes - self._window_tx_base,
+                   self.rx_bytes - self._window_rx_base)
+        value = peak / (window * self.link_bytes_per_ns)
+        if elapsed is not None and value > 1.0 + 1e-9:
+            raise SimulationError(
+                f"network utilization {value:.3f} > 1 on {self.name!r}: "
+                f"the elapsed window ({elapsed} ns) is shorter than the "
+                "byte-accounting window; call begin_window() at the "
+                "start of the measurement window")
+        return value
 
 
 class Fabric:
     """The switch-centric star network connecting all endpoints."""
 
     def __init__(self, env: Environment, params: NetworkParams,
-                 seed: int = 0):
+                 seed: int = 0,
+                 registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.params = params
         self._endpoints: Dict[str, Endpoint] = {}
         self._rng = random.Random(seed)
-        self.dropped_messages = 0
-        self.delivered_messages = 0
+        if registry is None:
+            registry = MetricsRegistry(clock=lambda: env.now)
+        self.registry = registry
+        self._dropped = registry.counter("net.dropped_messages")
+        self._delivered = registry.counter("net.delivered_messages")
+
+    @property
+    def dropped_messages(self) -> int:
+        return self._dropped.value
+
+    @property
+    def delivered_messages(self) -> int:
+        return self._delivered.value
+
+    def begin_window(self) -> None:
+        """Start a fresh byte-accounting window on every endpoint."""
+        for endpoint in self._endpoints.values():
+            endpoint.begin_window()
 
     def register(self, name: str) -> Endpoint:
         if name in self._endpoints:
             raise ValueError(f"endpoint {name!r} already registered")
         endpoint = Endpoint(self.env, name,
-                            self.params.link_bytes_per_ns)
+                            self.params.link_bytes_per_ns,
+                            registry=self.registry)
         self._endpoints[name] = endpoint
         return endpoint
 
@@ -119,8 +199,8 @@ class Fabric:
         try:
             serialization = message.size_bytes / src.link_bytes_per_ns
             yield self.env.timeout(serialization)
-            src.tx_bytes += message.size_bytes
-            src.tx_messages += 1
+            src._tx_bytes.inc(message.size_bytes)
+            src._tx_messages.inc()
         finally:
             src.egress.release(grant)
 
@@ -131,11 +211,11 @@ class Fabric:
 
         if (self.params.drop_probability > 0.0
                 and self._rng.random() < self.params.drop_probability):
-            self.dropped_messages += 1
+            self._dropped.inc()
             return
 
         message.hops += 1
-        dst.rx_bytes += message.size_bytes
-        dst.rx_messages += 1
-        self.delivered_messages += 1
+        dst._rx_bytes.inc(message.size_bytes)
+        dst._rx_messages.inc()
+        self._delivered.inc()
         dst.inbox.put(message)

@@ -57,6 +57,9 @@ class Resource:
         self._busy_time = 0.0
         self._last_change = env.now
         self._granted_total = 0
+        # Measurement window (see begin_window / utilization).
+        self._window_start = env.now
+        self._window_busy_base = 0.0
 
     @property
     def in_use(self) -> int:
@@ -94,13 +97,40 @@ class Resource:
         self._busy_time += len(self._users) * (now - self._last_change)
         self._last_change = now
 
-    def utilization(self, elapsed: Optional[float] = None) -> float:
-        """Average fraction of capacity busy since t=0 (or over elapsed)."""
+    def begin_window(self) -> None:
+        """Start a fresh measurement window at the current time.
+
+        Utilization queries then cover only busy time accumulated after
+        this call -- the correct way to measure a post-warmup window.
+        """
         self._account()
-        window = elapsed if elapsed is not None else self.env.now
+        self._window_start = self.env.now
+        self._window_busy_base = self._busy_time
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Average fraction of capacity busy over the measurement window.
+
+        The window starts at construction time (t=0) or at the last
+        :meth:`begin_window` call.  ``elapsed``, when given, is the
+        caller's window duration and must cover the accumulation window:
+        dividing busy time accumulated since t=0 by a shorter window
+        would report an impossible utilization > 1, so that case raises
+        :class:`SimulationError` instead of returning garbage.
+        """
+        self._account()
+        busy = self._busy_time - self._window_busy_base
+        window = (elapsed if elapsed is not None
+                  else self.env.now - self._window_start)
         if window <= 0:
             return 0.0
-        return self._busy_time / (window * self.capacity)
+        value = busy / (window * self.capacity)
+        if elapsed is not None and value > 1.0 + 1e-9:
+            raise SimulationError(
+                f"utilization {value:.3f} > 1: the elapsed window "
+                f"({elapsed} ns) is shorter than the accumulation window "
+                f"({self.env.now - self._window_start} ns); call "
+                "begin_window() at the start of the measurement window")
+        return value
 
 
 class StoreGet(Event):

@@ -1,0 +1,105 @@
+"""End-to-end observability: spans, latency histograms, and the report.
+
+The metrics layer must (a) reproduce the Fig 9 per-stage breakdown from
+accelerator span histograms alone -- matching the committed benchmark
+table within tolerance -- and (b) give every compared system the same
+``request.latency_ns`` histogram through one ``MetricsRegistry``
+snapshot, which is what the report's observability section renders.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.driver import run_workload
+from repro.bench.experiments import make_system
+from repro.bench.report import (
+    SPAN_STAGES,
+    latency_summary,
+    render_metrics,
+    span_breakdown,
+)
+from repro.structures import LinkedList
+from repro.workloads import build_upc
+
+FIG9_TABLE = (Path(__file__).resolve().parent.parent
+              / "benchmarks" / "results" / "fig9_breakdown.txt")
+
+#: every system the paper compares (section 7.1)
+SYSTEMS = ["pulse", "pulse-acc", "rpc", "cache", "cache+rpc"]
+
+
+def small_list_ops(system, keys=12):
+    lst = LinkedList(system.memory)
+    lst.extend((k, k * 7) for k in range(1, keys + 1))
+    finder = lst.find_iterator()
+    return [(finder, (k,)) for k in range(1, keys + 1)]
+
+
+def pulse_upc_snapshot():
+    system = make_system("pulse", node_count=1)
+    upc = build_upc(system.memory, 1, num_pairs=2_000, chain_length=200,
+                    requests=10, seed=0)
+    run = run_workload(system, upc.operations, concurrency=1)
+    assert run.metrics is not None
+    return run.metrics
+
+
+class TestFig9FromSpans:
+    def test_breakdown_matches_modeled_stage_times(self):
+        breakdown = span_breakdown(pulse_upc_snapshot())
+        for stage in SPAN_STAGES:
+            assert breakdown[stage]["count"] > 0, stage
+        # Fixed per-event costs are exact; per-iteration ones have the
+        # same windows as the Fig 9 benchmark assertions.
+        assert breakdown["netstack"]["mean_ns"] == 430.0
+        assert breakdown["scheduler"]["mean_ns"] == 4.0
+        assert 100 <= breakdown["memory"]["mean_ns"] <= 140
+        assert 5 <= breakdown["logic"]["mean_ns"] <= 9
+
+    def test_breakdown_matches_committed_benchmark_table(self):
+        # The spans must tell the same story as the benchmark's own
+        # arithmetic (benchmarks/results/fig9_breakdown.txt).
+        if not FIG9_TABLE.exists():
+            pytest.skip("fig9 benchmark table not generated")
+        table = {}
+        for line in FIG9_TABLE.read_text().splitlines()[2:]:
+            parts = line.split()
+            if len(parts) >= 2 and parts[0].endswith("_ns"):
+                table[parts[0].removesuffix("_ns")] = float(parts[1])
+        breakdown = span_breakdown(pulse_upc_snapshot())
+        for stage in SPAN_STAGES:
+            assert breakdown[stage]["mean_ns"] == pytest.approx(
+                table[stage], rel=0.15), stage
+
+
+class TestFiveSystemLatency:
+    @pytest.mark.parametrize("name", SYSTEMS)
+    def test_latency_histogram_in_snapshot(self, name):
+        system = make_system(name, node_count=1)
+        run = run_workload(system, small_list_ops(system), concurrency=2)
+        assert run.completed == 12
+        summary = latency_summary(run.metrics)
+        assert summary is not None
+        assert summary["count"] == 12
+        assert 0 < summary["p50"] <= summary["p99"] <= summary["max"]
+        # The histogram agrees with the driver's exact per-op latencies.
+        assert summary["mean"] == pytest.approx(run.avg_latency_ns)
+
+    def test_render_metrics_section(self):
+        snapshots = {}
+        for name in ("pulse", "rpc"):
+            system = make_system(name, node_count=1)
+            run = run_workload(system, small_list_ops(system),
+                               concurrency=2)
+            snapshots[name] = run.metrics
+        lines = render_metrics(snapshots)
+        text = "\n".join(lines)
+        assert "| system | requests | mean | p50 | p99 | p999 |" in text
+        assert "| pulse | 12 " in text
+        assert "| rpc | 12 " in text
+        # Only pulse has accelerator spans.
+        assert "Per-stage accelerator spans for pulse" in text
+        assert "Per-stage accelerator spans for rpc" not in text
+        for stage in SPAN_STAGES:
+            assert f"| {stage} | " in text
