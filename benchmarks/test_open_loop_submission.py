@@ -1,0 +1,174 @@
+"""Extension: open-loop offered load and doorbell batching (§4.1).
+
+The paper's closed-loop driver caps load at concurrency/latency; an
+open-loop Poisson arrival process instead fixes the *offered* load and
+lets in-flight work pile up, exposing (a) each system's saturation
+throughput, (b) what client-side doorbell batching buys pulse once the
+DPDK stack cost is amortized over multi-request frames, and (c) the
+accelerator's admission-control backpressure under overload.
+
+Reported: throughput vs offered load for all five systems, achieved
+throughput / batch occupancy / frame counts per doorbell batch size,
+and the RETRY-NACK counters of an overloaded tiny admission queue.
+
+Short hash chains (chain_length=4) keep the per-request accelerator
+work small, so the client DPDK stack -- the cost batching amortizes --
+is the binding resource, as it is for small-op workloads in practice.
+"""
+
+from conftest import save_table, scale_requests
+
+from repro.bench.experiments import format_table, run_open_loop_cell
+from repro.params import AcceleratorParams, SystemParams
+
+#: small ops: ~2-3 iterations per lookup, client-stack bound
+UPC_KW = {"num_pairs": 4000, "chain_length": 4}
+
+OFFERED_LOADS = (2e6, 8e6, 32e6)
+
+#: Cache+RPC (AIFM) restricts the whole curve to one memory node
+SYSTEMS = ("pulse", "rpc", "rpc-w", "cache", "cache+rpc")
+
+BATCH_SIZES = (1, 8, 16)
+
+
+def _curve_cells():
+    cells = {}
+    for name in SYSTEMS:
+        kwargs = {"batch_size": 8} if name == "pulse" else {}
+        for load in OFFERED_LOADS:
+            cells[(name, load)] = run_open_loop_cell(
+                name, "UPC", load, node_count=1,
+                requests=scale_requests(240), seed=1,
+                system_kwargs=kwargs, workload_kwargs=UPC_KW)
+    return cells
+
+
+def _batch_cells():
+    cells = {}
+    for batch in BATCH_SIZES:
+        cells[batch] = run_open_loop_cell(
+            "pulse", "UPC", 32e6, node_count=1,
+            requests=scale_requests(400), seed=2,
+            system_kwargs={"batch_size": batch},
+            workload_kwargs=UPC_KW)
+    return cells
+
+
+def _backpressure_cell():
+    # One core, one workspace, two-deep admission queue: a Poisson burst
+    # must be absorbed by RETRY NACKs + client backoff.
+    params = SystemParams(accelerator=AcceleratorParams(
+        workspaces_per_core=1, admission_queue_depth=2))
+    return run_open_loop_cell(
+        "pulse", "UPC", 8e6, node_count=1,
+        requests=scale_requests(120), seed=3, params=params,
+        system_kwargs={"cores_per_accelerator": 1, "batch_size": 4},
+        workload_kwargs=UPC_KW)
+
+
+def _hist(cell, name):
+    return (cell.stats.metrics or {}).get("histograms", {}).get(name, {})
+
+
+def _counter(cell, name):
+    return (cell.stats.metrics or {}).get("counters", {}).get(name, 0)
+
+
+def test_open_loop_offered_load_and_batching(once):
+    curve, batches, backpressure = once(
+        lambda: (_curve_cells(), _batch_cells(), _backpressure_cell()))
+
+    curve_rows = []
+    for name in SYSTEMS:
+        for load in OFFERED_LOADS:
+            cell = curve[(name, load)]
+            label = f"{name}(batch=8)" if name == "pulse" else name
+            curve_rows.append((
+                label, f"{load / 1e6:.0f}",
+                f"{cell.stats.throughput_per_s / 1e6:.2f}",
+                f"{cell.avg_latency_us:.1f}",
+                f"{cell.stats.percentile_latency_ns(99) / 1e3:.1f}",
+                f"{cell.stats.max_in_flight}",
+                f"{cell.stats.lost}",
+            ))
+    curve_table = format_table(
+        ["system", "offered_Mops", "achieved_Mops", "avg_us", "p99_us",
+         "max_in_flight", "lost"],
+        curve_rows)
+
+    batch_rows = []
+    for batch in BATCH_SIZES:
+        cell = batches[batch]
+        occupancy = _hist(cell, "client0.client.batch_occupancy")
+        frames = _hist(cell, "net.client0.tx_message_bytes")
+        queue = _hist(cell, "mem0.acc.queue_depth")
+        batch_rows.append((
+            f"{batch}",
+            f"{cell.stats.throughput_per_s / 1e6:.2f}",
+            f"{occupancy.get('mean', 0.0):.2f}",
+            f"{frames.get('count', 0):.0f}",
+            f"{queue.get('mean', 0.0):.2f}",
+            f"{queue.get('max', 0.0):.0f}",
+            f"{cell.stats.max_in_flight}",
+        ))
+    batch_table = format_table(
+        ["batch_size", "achieved_Mops", "mean_occupancy", "tx_frames",
+         "acc_queue_mean", "acc_queue_max", "max_in_flight"],
+        batch_rows)
+
+    bp = backpressure
+    bp_queue = _hist(bp, "mem0.acc.queue_depth")
+    bp_table = format_table(
+        ["admission_nacks", "client_retries", "queue_p50", "queue_max",
+         "completed", "lost"],
+        [(f"{_counter(bp, 'mem0.acc.admission_nacks'):.0f}",
+          f"{_counter(bp, 'client0.client.admission_retries'):.0f}",
+          f"{bp_queue.get('p50', 0.0):.1f}",
+          f"{bp_queue.get('max', 0.0):.0f}",
+          f"{bp.stats.completed}", f"{bp.stats.lost}")])
+
+    save_table("ext_open_loop", "\n\n".join([
+        "Throughput vs offered load (open loop, UPC short chains, "
+        "1 node):\n" + curve_table,
+        "pulse doorbell batch size at 32 Mops/s offered:\n"
+        + batch_table,
+        "Backpressure: tiny admission queue at 8 Mops/s offered:\n"
+        + bp_table,
+    ]))
+
+    # -- batching is the headline: >=8-deep doorbells measurably beat
+    # unbatched submission once >=64 requests are in flight.
+    t1 = batches[1].stats.throughput_per_s
+    t8 = batches[8].stats.throughput_per_s
+    t16 = batches[16].stats.throughput_per_s
+    assert batches[1].stats.max_in_flight >= 64
+    assert batches[8].stats.max_in_flight >= 64
+    assert t8 > 1.3 * t1
+    assert t16 > 0.9 * t8  # returns diminish, but must not regress
+    occupancy8 = _hist(batches[8], "client0.client.batch_occupancy")
+    assert occupancy8.get("mean", 0.0) > 4.0
+    # Fewer frames on the wire than unbatched at equal request count.
+    frames1 = _hist(batches[1], "net.client0.tx_message_bytes")
+    frames8 = _hist(batches[8], "net.client0.tx_message_bytes")
+    assert frames8.get("count", 0) < 0.7 * frames1.get("count", 1)
+    for cell in batches.values():
+        assert cell.stats.lost == 0
+        assert cell.stats.faults == 0
+
+    # -- the curve: everyone tracks the offered load until their
+    # saturation point; batched pulse saturates highest.
+    for name in SYSTEMS:
+        low = curve[(name, OFFERED_LOADS[0])].stats.throughput_per_s
+        high = curve[(name, OFFERED_LOADS[-1])].stats.throughput_per_s
+        assert high >= 0.8 * low  # more load never collapses throughput
+    top = {name: curve[(name, OFFERED_LOADS[-1])].stats.throughput_per_s
+           for name in SYSTEMS}
+    for baseline in ("rpc", "rpc-w", "cache", "cache+rpc"):
+        assert top["pulse"] > 1.2 * top[baseline]
+
+    # -- overload is absorbed by NACK + backoff, not lost requests.
+    assert _counter(bp, "mem0.acc.admission_nacks") > 0
+    assert _counter(bp, "client0.client.admission_retries") > 0
+    assert bp.stats.completed + bp.stats.lost == scale_requests(120)
+    assert bp.stats.lost == 0

@@ -29,7 +29,7 @@ def _tc_latency_with_eta_max(eta_max: float) -> tuple:
     cluster = PulseCluster(node_count=1, params=params)
     tc = build_tc(cluster.memory, 1, num_pairs=8_000, scan_limit=120,
                   requests=scale_requests(12), seed=0)
-    decision = cluster.engine.decide(tc.operations[0][0].program)
+    decision = cluster.engines[0].decide(tc.operations[0][0].program)
     stats = run_workload(cluster, tc.operations, concurrency=2)
     return stats.avg_latency_ns, decision.offload
 

@@ -11,7 +11,7 @@ from conftest import save_table, scale_requests
 
 from repro.bench.experiments import format_table, make_system
 from repro.bench.driver import run_workload
-from repro.params import DEFAULT_PARAMS, MemoryParams, SystemParams
+from repro.params import DEFAULT_PARAMS
 from repro.structures import LinkedList
 
 HOPS = (8, 32, 128, 512)

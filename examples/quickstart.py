@@ -10,7 +10,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro import PulseCluster
-from repro.isa import analyze
 from repro.structures import HashTable
 
 
@@ -30,7 +29,7 @@ def main() -> None:
     finder = table.find_iterator()
 
     # What did the offload engine decide about this kernel?
-    decision = cluster.engine.decide(finder.program)
+    decision = cluster.engines[0].decide(finder.program)
     analysis = decision.analysis
     print("kernel:", finder.program.name)
     print(f"  instructions per iteration : {analysis.recurring_instructions}")

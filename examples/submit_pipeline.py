@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Async submission: many in-flight traversals through one doorbell.
+
+``PulseClient.traverse`` waits for each result before issuing the next
+request; ``PulseClient.submit`` instead returns a ``PendingTraversal``
+immediately, so a single caller can keep dozens of traversals in flight.
+Outstanding requests are coalesced by the client's doorbell batcher into
+multi-request frames -- one DPDK stack span amortized over up to
+``batch_size`` requests -- which is where the throughput comes from.
+
+Run:  python examples/submit_pipeline.py
+"""
+
+from repro import PulseCluster
+from repro.structures import HashTable
+
+REQUESTS = 512
+
+
+def build_rack(batch_size: int) -> PulseCluster:
+    cluster = PulseCluster(node_count=2, batch_size=batch_size)
+    table = HashTable(cluster.memory, buckets=512, value_bytes=8,
+                      partition_nodes=2)
+    for key in range(2_000):
+        table.insert(key, (key * 3).to_bytes(8, "little"))
+    cluster.table = table
+    return cluster
+
+
+def run_async(cluster: PulseCluster) -> float:
+    """Submit everything up front, then run until the last completion."""
+    finder = cluster.table.find_iterator()
+    pendings = [cluster.submit(finder, key % 2_000)
+                for key in range(REQUESTS)]
+
+    def join_all():
+        for pending in pendings:
+            yield from pending.wait()
+
+    cluster.env.run(until=cluster.env.process(join_all()))
+    elapsed_ns = cluster.env.now
+
+    for key, pending in enumerate(pendings):
+        assert pending.done
+        value = int.from_bytes(pending.result.value, "little")
+        assert value == (key % 2_000) * 3
+    return REQUESTS / elapsed_ns * 1e3  # Mops/s
+
+
+def main() -> None:
+    print(f"{REQUESTS} lookups submitted up front, two memory nodes\n")
+    print("batch  Mops/s  frames_tx  mean_batch  acc_queue_p99")
+    for batch_size in (1, 4, 16):
+        cluster = build_rack(batch_size)
+        mops = run_async(cluster)
+        snapshot = cluster.metrics_snapshot()
+        frames = snapshot["histograms"]["net.client0.tx_message_bytes"]
+        occupancy = snapshot["histograms"][
+            "client0.client.batch_occupancy"]
+        queue = snapshot["histograms"]["mem0.acc.queue_depth"]
+        print(f"{batch_size:>5}  {mops:6.2f}  {frames['count']:9.0f}  "
+              f"{occupancy['mean']:10.2f}  {queue['p99']:13.1f}")
+
+    print("\nWith a deeper doorbell the same request stream leaves the")
+    print("client in far fewer frames, and the saved DPDK stack time")
+    print("turns directly into throughput.")
+
+
+if __name__ == "__main__":
+    main()

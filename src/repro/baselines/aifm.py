@@ -25,15 +25,13 @@ B+Trees nor distributed execution natively).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List
 
-from repro.baselines.rpc import RPC_KIND, RpcSystem
-from repro.core.iterator import PulseIterator, TraversalResult
+from repro.baselines.rpc import RpcSystem
+from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
 from repro.core.messages import RequestStatus, TraversalRequest
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.translation import TranslationFault
-from repro.sim.network import Message
 
 
 class ObjectCache:
@@ -99,8 +97,7 @@ class CacheRpcSystem(RpcSystem):
 
         # Phase 1: walk cached objects locally.
         iterations = 0
-        faulted = False
-        fault_reason = ""
+        fault = None
         done = False
         while True:
             address = wrap64(machine.cur_ptr + window_offset)
@@ -110,9 +107,11 @@ class CacheRpcSystem(RpcSystem):
             try:
                 step = machine.run_iteration(self.memory.read,
                                              self.memory.write)
-            except (ExecutionFault, TranslationFault) as exc:
-                faulted = True
-                fault_reason = str(exc)
+            except ExecutionFault as exc:
+                fault = FaultInfo(reason=str(exc), kind="execution")
+                break
+            except TranslationFault as exc:
+                fault = FaultInfo(reason=str(exc), kind="translation")
                 break
             iterations += 1
             self._m_local_iterations.inc()
@@ -123,7 +122,7 @@ class CacheRpcSystem(RpcSystem):
                 break
 
         # Phase 2: RPC the remainder over the TCP-flavored stack.
-        if not done and not faulted:
+        if not done and fault is None:
             self._m_offloaded.inc()
             self._counter += 1
             request = TraversalRequest(
@@ -150,8 +149,9 @@ class CacheRpcSystem(RpcSystem):
                     issued_at_ns=start,
                 )
                 response = yield from self._send_to_owner(request)
-            faulted = response.status is RequestStatus.FAULT
-            fault_reason = response.fault_reason
+            if response.status is RequestStatus.FAULT:
+                fault = FaultInfo(reason=response.fault_reason,
+                                  kind="remote")
             iterations = response.iterations_done
             final_scratch = response.scratch
             # The traversed chain becomes cache-resident (AIFM swaps the
@@ -162,12 +162,12 @@ class CacheRpcSystem(RpcSystem):
             final_scratch = bytes(machine.scratch)
 
         result = TraversalResult(
-            value=None if faulted else iterator.finalize(final_scratch),
+            value=(None if fault is not None
+                   else iterator.finalize(final_scratch)),
             iterations=iterations,
             latency_ns=self.env.now - start,
             offloaded=not done,
-            faulted=faulted,
-            fault_reason=fault_reason,
+            fault=fault,
         )
         self._record_result(result)
         return result

@@ -20,7 +20,7 @@ from collections import OrderedDict
 from typing import List, Optional
 
 from repro.baselines.common import BaselineSystem
-from repro.core.iterator import PulseIterator, TraversalResult
+from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.translation import TranslationFault
@@ -117,15 +117,13 @@ class CacheSystem(BaselineSystem):
         acc = self.params.accelerator
 
         iterations = 0
-        faulted = False
-        fault_reason = ""
+        fault = None
         while True:
             address = wrap64(machine.cur_ptr + window_offset)
             try:
                 self.memory.read(address, window_size)  # validity check
             except TranslationFault as exc:
-                faulted = True
-                fault_reason = str(exc)
+                fault = FaultInfo(reason=str(exc), kind="translation")
                 break
 
             first_page = address // self.page_bytes
@@ -137,8 +135,7 @@ class CacheSystem(BaselineSystem):
                 step = machine.run_iteration(self.memory.read,
                                              self.memory.write)
             except ExecutionFault as exc:
-                faulted = True
-                fault_reason = str(exc)
+                fault = FaultInfo(reason=str(exc), kind="execution")
                 break
 
             iterations += 1
@@ -148,18 +145,17 @@ class CacheSystem(BaselineSystem):
             if step.outcome is IterationOutcome.DONE:
                 break
             if iterations >= 4 * acc.max_iterations:
-                faulted = True
-                fault_reason = "runaway traversal"
+                fault = FaultInfo(reason="runaway traversal",
+                                  kind="budget")
                 break
 
         result = TraversalResult(
-            value=(None if faulted
+            value=(None if fault is not None
                    else iterator.finalize(bytes(machine.scratch))),
             iterations=iterations,
             latency_ns=self.env.now - start,
             offloaded=False,
-            faulted=faulted,
-            fault_reason=fault_reason,
+            fault=fault,
         )
         self._record_result(result)
         return result

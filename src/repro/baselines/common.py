@@ -1,10 +1,19 @@
-"""Scaffolding shared by the baseline systems."""
+"""Scaffolding shared by the baseline systems, and the backend protocol.
+
+:class:`TraversalBackend` is the narrow structural interface every
+compared system -- :class:`~repro.core.cluster.PulseCluster` and all
+three baselines -- satisfies, so the bench driver (closed loop *and*
+the open-loop Poisson generator) dispatches through one protocol
+instead of per-system special cases.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import (Any, Dict, Optional, Protocol, Sequence, Tuple,
+                    runtime_checkable)
 
+from repro.core.client import PendingTraversal
 from repro.mem.allocator import PlacementPolicy
 from repro.mem.node import GlobalMemory
 from repro.obs.metrics import MetricsRegistry
@@ -12,6 +21,45 @@ from repro.params import DEFAULT_PARAMS, CpuParams, SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric
 from repro.sim.resources import Resource
+
+
+@runtime_checkable
+class TraversalBackend(Protocol):
+    """What the bench driver needs from any compared system.
+
+    ``submit`` is the async path (returns a
+    :class:`~repro.core.client.PendingTraversal` immediately);
+    ``traverse`` is the closed-loop process interface; the remaining
+    methods are the measurement contract.  The protocol is structural:
+    systems implement it by shape, no inheritance required.
+    """
+
+    env: Environment
+
+    def submit(self, iterator: Any, *args) -> PendingTraversal:
+        """Issue one traversal asynchronously."""
+        ...
+
+    def traverse(self, iterator: Any, *args):
+        """Process: run one traversal; returns a TraversalResult."""
+        ...
+
+    def run_workload(self, operations: Sequence[Tuple[Any, tuple]],
+                     concurrency: int = 8, warmup: int = 0):
+        """Closed-loop drive of an operation list; returns WorkloadStats."""
+        ...
+
+    def begin_measurement(self) -> None:
+        """Reset metrics/byte windows at the start of measurement."""
+        ...
+
+    def metrics_snapshot(self) -> Dict:
+        """One JSON-able export of every metric in the system."""
+        ...
+
+    def reset_counters(self) -> None:
+        """Zero memory-access counters and registry metrics."""
+        ...
 
 
 class BaselineSystem:
@@ -49,6 +97,25 @@ class BaselineSystem:
     def node_count(self) -> int:
         return self.memory.node_count
 
+    # -- TraversalBackend protocol ------------------------------------------
+    def submit(self, iterator, *args) -> PendingTraversal:
+        """Issue one traversal asynchronously; returns immediately.
+
+        Baselines have no doorbell batcher -- each submission simply runs
+        its (generator) ``traverse`` as an independent process, which is
+        exactly how these systems take concurrent load.
+        """
+        process = self.env.process(self.traverse(iterator, *args))
+        return PendingTraversal(self.env, process)
+
+    def traverse(self, iterator, *args):
+        raise NotImplementedError  # each baseline implements its model
+
+    def run_workload(self, operations, concurrency: int = 8,
+                     warmup: int = 0):
+        from repro.bench.driver import run_workload
+        return run_workload(self, operations, concurrency, warmup)
+
     def begin_measurement(self) -> None:
         """Reset metrics + byte windows for the post-warmup window."""
         self.registry.reset()
@@ -58,10 +125,14 @@ class BaselineSystem:
         """One JSON-able export of every metric in the system."""
         return self.registry.snapshot()
 
+    def reset_counters(self) -> None:
+        self.memory.reset_counters()
+        self.registry.reset()
+
     def _record_result(self, result) -> None:
         """Account one finished traversal in the registry."""
         self._m_traversals.inc()
-        if result.faulted:
+        if not result.ok:
             self._m_result_faults.inc()
         self._latency.record(result.latency_ns)
         self.completed.append(result)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.baselines.common import BaselineSystem, workers_to_saturate
-from repro.core.iterator import PulseIterator, TraversalResult
+from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
 from repro.core.messages import RequestStatus, TraversalRequest
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
@@ -254,8 +254,8 @@ class RpcSystem(BaselineSystem):
             latency_ns=self.env.now - start,
             offloaded=True,
             hops=response.node_hops,
-            faulted=faulted,
-            fault_reason=response.fault_reason,
+            fault=(FaultInfo(reason=response.fault_reason, kind="remote")
+                   if faulted else None),
         )
         self._record_result(result)
         return result

@@ -1,19 +1,31 @@
-"""System-agnostic workload driver.
+"""System-agnostic workload drivers (closed loop and open loop).
 
-Every system in the repo -- pulse and all four baselines -- exposes the
-same narrow interface: an ``env`` (simulation environment) and a
-``traverse(iterator, *args)`` generator that completes one operation.
-This driver runs a closed-loop experiment against any of them:
-``concurrency`` workers each repeatedly issue the next operation from the
-list, mirroring the paper's load generator.  Latency is per-operation;
-throughput is completions over the measurement window.
+Every system in the repo -- pulse and all four baselines -- satisfies the
+:class:`~repro.baselines.common.TraversalBackend` protocol: an ``env``,
+an async ``submit(iterator, *args)`` returning a
+:class:`~repro.core.client.PendingTraversal`, a closed-loop
+``traverse(iterator, *args)`` process, and the measurement contract
+(``begin_measurement`` / ``metrics_snapshot``).  Two drivers run
+experiments against that one protocol:
+
+* :func:`run_workload` -- the paper's closed-loop generator:
+  ``concurrency`` lock-step workers, each issuing the next operation as
+  soon as its previous one completes.  Good for latency cells, but load
+  is capped by ``concurrency / latency``.
+* :func:`run_open_loop` -- a Poisson arrival process at a configured
+  *offered load*, submitting asynchronously without waiting.  In-flight
+  work grows until the system pushes back, which is what exposes the
+  saturation point (and the batching/admission machinery) the
+  throughput-vs-offered-load curves plot.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.client import RequestLost
 from repro.core.iterator import TraversalResult
 
 
@@ -30,6 +42,12 @@ class WorkloadStats:
     #: ``registry.snapshot()`` taken when the workload finished (systems
     #: without a metrics registry leave this None)
     metrics: Optional[Dict] = field(repr=False, default=None)
+    #: open-loop only: the configured arrival rate (ops/s)
+    offered_load_per_s: Optional[float] = None
+    #: open-loop only: requests abandoned after exhausting retries
+    lost: int = 0
+    #: open-loop only: peak concurrently-in-flight submissions observed
+    max_in_flight: int = 0
 
     @property
     def throughput_per_s(self) -> float:
@@ -89,11 +107,9 @@ def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
             cursor["next"] = index + 1
             if index == warmup:
                 measure_start["t"] = env.now
-                begin = getattr(system, "begin_measurement", None)
-                if begin is not None:
-                    # Drop warmup-time metrics so histograms and
-                    # utilizations cover only the measured window.
-                    begin()
+                # Drop warmup-time metrics so histograms and
+                # utilizations cover only the measured window.
+                system.begin_measurement()
             iterator, args = operations[index]
             result = yield from system.traverse(iterator, *args)
             results[index] = result
@@ -105,13 +121,75 @@ def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
 
     measured = [r for r in results[warmup:] if r is not None]
     start = measure_start["t"] if measure_start["t"] is not None else 0.0
-    snapshot_fn = getattr(system, "metrics_snapshot", None)
     return WorkloadStats(
         completed=len(measured),
         duration_ns=env.now - start,
         latencies_ns=[r.latency_ns for r in measured],
-        faults=sum(1 for r in measured if r.faulted),
+        faults=sum(1 for r in measured if not r.ok),
         total_hops=sum(r.hops for r in measured),
         results=measured,
-        metrics=snapshot_fn() if snapshot_fn is not None else None,
+        metrics=system.metrics_snapshot(),
+    )
+
+
+def run_open_loop(system, operations: Sequence[Tuple[Any, tuple]],
+                  offered_load_per_s: float,
+                  warmup: int = 0, seed: int = 0) -> WorkloadStats:
+    """Submit ``operations`` at a Poisson rate, without waiting.
+
+    Arrivals are exponential with mean ``1 / offered_load_per_s``; each
+    arrival calls ``system.submit`` and moves on -- completions are
+    collected asynchronously, so in-flight work piles up whenever the
+    offered load exceeds what the system sustains.  Requests that
+    exhaust their retry budget (admission NACKs under overload, or
+    losses) are counted in ``lost`` rather than aborting the run.
+    """
+    if offered_load_per_s <= 0:
+        raise ValueError("offered load must be positive")
+    env = system.env
+    rate_per_ns = offered_load_per_s / 1e9
+    rng = random.Random(seed)
+    results: List[Optional[TraversalResult]] = [None] * len(operations)
+    state = {"lost": 0, "in_flight": 0, "max_in_flight": 0}
+    measure_start = {"t": None}
+    collectors = []
+
+    def collect(index, pending):
+        try:
+            result = yield from pending.wait()
+        except RequestLost:
+            state["lost"] += 1
+            return
+        finally:
+            state["in_flight"] -= 1
+        results[index] = result
+
+    def generator():
+        for index, (iterator, args) in enumerate(operations):
+            yield env.timeout(rng.expovariate(1.0) / rate_per_ns)
+            if index == warmup:
+                measure_start["t"] = env.now
+                system.begin_measurement()
+            pending = system.submit(iterator, *args)
+            state["in_flight"] += 1
+            state["max_in_flight"] = max(state["max_in_flight"],
+                                         state["in_flight"])
+            collectors.append(env.process(collect(index, pending)))
+
+    env.run(until=env.process(generator()))
+    env.run(until=env.all_of(collectors))
+
+    measured = [r for r in results[warmup:] if r is not None]
+    start = measure_start["t"] if measure_start["t"] is not None else 0.0
+    return WorkloadStats(
+        completed=len(measured),
+        duration_ns=env.now - start,
+        latencies_ns=[r.latency_ns for r in measured],
+        faults=sum(1 for r in measured if not r.ok),
+        total_hops=sum(r.hops for r in measured),
+        results=measured,
+        metrics=system.metrics_snapshot(),
+        offered_load_per_s=offered_load_per_s,
+        lost=state["lost"],
+        max_in_flight=state["max_in_flight"],
     )

@@ -14,10 +14,10 @@ traversal lengths, eta, and cache:data ratios are preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines import CacheRpcSystem, CacheSystem, RpcSystem
-from repro.bench.driver import WorkloadStats, run_workload
+from repro.bench.driver import WorkloadStats, run_open_loop, run_workload
 from repro.core import PulseCluster
 from repro.energy import EnergyReport, measure_energy
 from repro.params import DEFAULT_PARAMS, SystemParams
@@ -145,6 +145,54 @@ def run_cell(system_name: str, workload_name: str, node_count: int = 1,
                               requests, seed, **(workload_kwargs or {}))
     stats = run_workload(system, workload.operations,
                          concurrency=concurrency)
+    mem_util = _utilization(system, "memory_bandwidth_utilization",
+                            stats.duration_ns)
+    net_util = _utilization(system, "network_bandwidth_utilization",
+                            stats.duration_ns)
+    workers = getattr(system, "workers_per_node", 1)
+    if system_name.lower() in ("cache", "cache-based"):
+        workers = system.fault_unit.capacity
+    energy = measure_energy(system_name, parameters,
+                            stats.throughput_per_s, nodes=node_count,
+                            workers_per_node=workers)
+    return CellResult(
+        system=system_name,
+        workload=workload_name,
+        nodes=node_count,
+        stats=stats,
+        memory_utilization=mem_util,
+        network_utilization=net_util,
+        workers_per_node=workers,
+        energy=energy,
+    )
+
+
+def run_open_loop_cell(system_name: str, workload_name: str,
+                       offered_load_per_s: float, node_count: int = 1,
+                       requests: int = 200, seed: int = 0,
+                       params: Optional[SystemParams] = None,
+                       system_kwargs: Optional[dict] = None,
+                       workload_kwargs: Optional[dict] = None) -> CellResult:
+    """One open-loop cell: Poisson arrivals at a configured offered load.
+
+    Same shape as :func:`run_cell` but driven by
+    :func:`~repro.bench.driver.run_open_loop` -- the system sees
+    ``offered_load_per_s`` regardless of its completion rate, so the
+    measured throughput saturates (and in-flight work piles up into the
+    doorbell batchers / admission queues) once the load exceeds capacity.
+    """
+    parameters = params if params is not None else DEFAULT_PARAMS
+    system_kwargs = dict(system_kwargs or {})
+    if (system_name.lower() in ("rpc", "rpc-w", "cache+rpc")
+            and "workers_per_node" not in system_kwargs):
+        system_kwargs["workers_per_node"] = saturating_workers(
+            system_name, workload_name, parameters)
+    system = make_system(system_name, node_count, parameters, seed,
+                         **system_kwargs)
+    workload = build_workload(system, workload_name, node_count,
+                              requests, seed, **(workload_kwargs or {}))
+    stats = run_open_loop(system, workload.operations,
+                          offered_load_per_s, seed=seed)
     mem_util = _utilization(system, "memory_bandwidth_utilization",
                             stats.duration_ns)
     net_util = _utilization(system, "network_bandwidth_utilization",

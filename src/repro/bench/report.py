@@ -57,6 +57,9 @@ SECTIONS: List[Tuple[str, str, str]] = [
      "FIFO vs fair workspace scheduling under a scan flood."),
     ("ext_locality", "Extension — access-locality sensitivity (§2.1)",
      "Uniform vs Zipfian key skew for caching vs offloading."),
+    ("ext_open_loop", "Extension — open-loop batched submission (§4.1)",
+     "Throughput vs Poisson offered load across systems, and doorbell "
+     "batch size vs achieved throughput / batch occupancy for pulse."),
 ]
 
 

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.messages import (RequestStatus, TraversalBatch,
+                                 TraversalRequest)
 from repro.core.scheduling import FairWorkspacePool, FifoWorkspacePool
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
@@ -178,6 +179,10 @@ class Accelerator:
             raise ValueError(
                 f"unknown scheduler policy {scheduler_policy!r}")
         self.scheduler_policy = scheduler_policy
+        #: admission bound: requests may queue up to this many deep
+        #: (``admission_queue_depth`` per core) before arrivals are
+        #: NACKed with RETRY -- the parked-request SRAM is finite
+        self.admission_limit = acc.admission_queue_depth * core_count
         self.rx_unit = Resource(env, capacity=1)
         self.tx_unit = Resource(env, capacity=1)
         self.scheduler_unit = Resource(env, capacity=1)
@@ -208,6 +213,12 @@ class Accelerator:
             f"{prefix}.span.scheduler")
         self._span_memory = registry.histogram(f"{prefix}.span.memory")
         self._span_logic = registry.histogram(f"{prefix}.span.logic")
+        self._m_batches = registry.counter(f"{prefix}.batches")
+        self._batch_size_hist = registry.histogram(f"{prefix}.batch_size")
+        self._m_nacks = registry.counter(f"{prefix}.admission_nacks")
+        registry.gauge(f"{prefix}.admission_queue_depth",
+                       fn=lambda: float(self.workspaces.queue_length()))
+        self.workspaces.attach_metrics(registry, prefix)
         registry.gauge(f"{prefix}.memory_pipeline_utilization",
                        fn=self.memory_pipeline_utilization)
         registry.gauge(f"{prefix}.memory_bandwidth_bytes_per_ns",
@@ -221,20 +232,43 @@ class Accelerator:
             self.env.process(self._handle(message))
 
     def _handle(self, message: Message):
-        request: TraversalRequest = message.payload
+        payload = message.payload
         acc = self.params.accelerator
 
+        # The netstack parses the *message* once; a batch amortizes the
+        # parse across its constituent requests.
         yield from self._hold(self.rx_unit, acc.netstack_occupancy_ns)
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
         self._span_netstack.record(acc.netstack_ns)
-        self._m_requests.inc()
 
-        yield from self._hold(self.scheduler_unit,
-                              acc.scheduler_dispatch_ns)
-        self._span_scheduler.record(acc.scheduler_dispatch_ns)
+        if isinstance(payload, TraversalBatch):
+            requests = list(payload.requests)
+            self._m_batches.inc()
+            self._batch_size_hist.record(len(requests))
+        else:
+            requests = [payload]
 
-        self.tracer.record(self.name, "rx", request.request_id,
-                           cur_ptr=hex(request.cur_ptr))
+        for request in requests:
+            self._m_requests.inc()
+            yield from self._hold(self.scheduler_unit,
+                                  acc.scheduler_dispatch_ns)
+            self._span_scheduler.record(acc.scheduler_dispatch_ns)
+            self.tracer.record(self.name, "rx", request.request_id,
+                               cur_ptr=hex(request.cur_ptr))
+            # Admission control: the queue of parked requests is bounded;
+            # past the bound the scheduler NACKs instead of queueing.
+            if self.workspaces.queue_length() >= self.admission_limit:
+                self._m_nacks.inc()
+                self.tracer.record(self.name, "nack", request.request_id,
+                                   queue=self.workspaces.queue_length())
+                nack = request.advanced(request.cur_ptr, request.scratch,
+                                        0, RequestStatus.RETRY)
+                self.env.process(self._respond(nack))
+                continue
+            self.env.process(self._serve(request))
+
+    def _serve(self, request: TraversalRequest):
+        """One request's life after admission: workspace, execute, reply."""
         core_id = yield self.workspaces.acquire(request.tenant)
         core = self.cores[core_id]
         try:
@@ -246,7 +280,11 @@ class Accelerator:
                            iterations=(response.iterations_done
                                        - request.iterations_done),
                            status=response.status.value)
+        yield from self._respond(response)
 
+    def _respond(self, response: TraversalRequest):
+        """Deparse and transmit one response (responses never batch)."""
+        acc = self.params.accelerator
         yield from self._hold(self.tx_unit, acc.netstack_occupancy_ns)
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
         self._span_netstack.record(acc.netstack_ns)

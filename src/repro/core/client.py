@@ -6,15 +6,26 @@ request ids, retransmission timers, ITER_LIMIT continuations, and the
 local fallback path for programs the offload engine rejects (those run at
 the CPU node with plain remote reads -- each iteration pays a full network
 round trip, which is exactly why offloading wins).
+
+The submission path is asynchronous: :meth:`PulseClient.submit` returns a
+:class:`PendingTraversal` immediately and a :class:`DoorbellBatcher`
+coalesces outstanding requests into multi-request messages, so one DPDK
+stack span (and one Ethernet frame) is amortized over up to ``batch_size``
+requests.  :meth:`PulseClient.traverse` is a thin submit-and-wait wrapper
+kept for closed-loop callers.  Admission-control NACKs
+(:class:`~repro.core.messages.RequestStatus` ``RETRY``) are handled here
+with capped exponential backoff.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional
 
 from repro.core.accelerator import PULSE_KIND
-from repro.core.iterator import PulseIterator, TraversalResult
-from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
+from repro.core.messages import (RequestStatus, TraversalBatch,
+                                 TraversalRequest)
 from repro.core.offload import OffloadEngine
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
@@ -22,7 +33,7 @@ from repro.mem.node import GlobalMemory
 from repro.mem.translation import TranslationFault
 from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
-from repro.sim.engine import Environment, Event
+from repro.sim.engine import Environment, Event, Process
 from repro.sim.network import Fabric, Message
 from repro.sim.resources import Resource
 from repro.sim.trace import NullTracer
@@ -30,9 +41,128 @@ from repro.sim.trace import NullTracer
 #: give up after this many retransmissions of one request
 MAX_RETRIES = 16
 
+#: give up after this many consecutive admission-control NACKs
+MAX_ADMISSION_RETRIES = 32
+
 
 class RequestLost(Exception):
-    """All retransmission attempts exhausted."""
+    """All retransmission (or admission retry) attempts exhausted."""
+
+
+class PendingTraversal:
+    """Future-like handle for a submitted traversal.
+
+    Wraps the simulation process running the traversal; the process event
+    fires with the :class:`~repro.core.iterator.TraversalResult` when the
+    traversal completes.  Any number of processes may :meth:`wait` on the
+    same handle.
+    """
+
+    def __init__(self, env: Environment, process: Process):
+        self.env = env
+        self._process = process
+
+    @property
+    def done(self) -> bool:
+        """True once the traversal has completed (or failed)."""
+        return self._process.triggered
+
+    @property
+    def result(self) -> TraversalResult:
+        """The result, once done; raises if awaited too early or failed."""
+        if not self._process.triggered:
+            raise RuntimeError("traversal has not completed yet; "
+                               "yield from wait() inside a process")
+        if not self._process.ok:
+            raise self._process.value
+        return self._process.value
+
+    def wait(self):
+        """Process: block until completion; returns the TraversalResult.
+
+        Re-raises :class:`RequestLost` if every delivery attempt failed.
+        """
+        result = yield self._process
+        return result
+
+
+class DoorbellBatcher:
+    """Coalesces requests into multi-request messages (doorbell style).
+
+    Requests accumulate in a pending list; a batch is flushed when it
+    reaches ``batch_size`` or when the ``flush_ns`` timer rings with a
+    partial batch (an empty ring is a no-op).  Each flush pays the DPDK
+    stack span *once*, which is the per-message cost the batching
+    amortizes.  ``batch_size=1`` degenerates to the unbatched behaviour:
+    every request is flushed inline as a plain request message.
+    """
+
+    def __init__(self, client: "PulseClient", batch_size: int = 1,
+                 flush_ns: Optional[float] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.client = client
+        self.env = client.env
+        self.batch_size = batch_size
+        self.flush_ns = (flush_ns if flush_ns is not None
+                         else client.params.network.doorbell_flush_ns)
+        self._pending: List[TraversalRequest] = []
+        self._timer_armed = False
+        registry = client.registry
+        prefix = f"{client.name}.client"
+        #: requests per flushed batch -- the amortization factor
+        self._m_occupancy = registry.histogram(f"{prefix}.batch_occupancy")
+        self._m_flushes = registry.counter(f"{prefix}.batch_flushes")
+        self._m_timer_flushes = registry.counter(
+            f"{prefix}.batch_timer_flushes")
+        self._m_empty_flushes = registry.counter(
+            f"{prefix}.batch_empty_flushes")
+        registry.gauge(f"{prefix}.batch_pending",
+                       fn=lambda: float(len(self._pending)))
+
+    def enqueue(self, request: TraversalRequest):
+        """Process: add one request; may flush inline when the batch fills."""
+        self._pending.append(request)
+        if len(self._pending) >= self.batch_size:
+            yield from self.flush()
+        elif not self._timer_armed:
+            self._timer_armed = True
+            self.env.process(self._flush_timer())
+
+    def _flush_timer(self):
+        yield self.env.timeout(self.flush_ns)
+        self._timer_armed = False
+        if self._pending:
+            self._m_timer_flushes.inc()
+            yield from self.flush()
+        else:
+            # A size-triggered flush already drained the batch.
+            self._m_empty_flushes.inc()
+
+    def flush(self):
+        """Process: send whatever is pending as one message."""
+        if not self._pending:
+            self._m_empty_flushes.inc()
+            return
+        batch, self._pending = self._pending, []
+        self._m_flushes.inc()
+        self._m_occupancy.record(len(batch))
+        client = self.client
+        # One doorbell write / stack span covers the whole batch.
+        yield from client._hold_stack()
+        if len(batch) == 1:
+            payload: object = batch[0]
+            size = batch[0].wire_bytes()
+        else:
+            payload = TraversalBatch(batch)
+            size = payload.wire_bytes()
+        client.fabric.send(Message(
+            kind=PULSE_KIND,
+            src=client.name,
+            dst=client.switch_name,
+            size_bytes=size,
+            payload=payload,
+        ), segments=1)
 
 
 class PulseClient:
@@ -42,6 +172,7 @@ class PulseClient:
                  params: SystemParams, engine: OffloadEngine,
                  memory: GlobalMemory, name: str = "client0",
                  switch_name: str = "switch", stack_cores: int = 8,
+                 batch_size: int = 1, flush_ns: Optional[float] = None,
                  tracer=None,
                  registry: Optional[MetricsRegistry] = None):
         self.env = env
@@ -56,6 +187,8 @@ class PulseClient:
         self.stack_unit = Resource(env, capacity=stack_cores)
         self.tracer = tracer if tracer is not None else NullTracer()
         self._waiters: Dict[tuple, Event] = {}
+        #: jitter source for retry backoff (deterministic per client name)
+        self._rng = random.Random(name)
         if registry is None:
             registry = fabric.registry
         self.registry = registry
@@ -67,9 +200,15 @@ class PulseClient:
             f"{prefix}.duplicates_dropped")
         self._m_traversals = registry.counter(f"{prefix}.traversals")
         self._m_faults = registry.counter(f"{prefix}.faults")
+        self._m_admission_retries = registry.counter(
+            f"{prefix}.admission_retries")
+        self._m_in_flight = registry.gauge(f"{prefix}.in_flight")
+        self._in_flight = 0
         #: issue -> complete latency for every traversal; one shared
         #: name across all systems so a single snapshot() compares them
         self._latency = registry.histogram("request.latency_ns")
+        self.batcher = DoorbellBatcher(self, batch_size=batch_size,
+                                       flush_ns=flush_ns)
         self.completed: List[TraversalResult] = []
         env.process(self._rx_loop())
 
@@ -85,6 +224,15 @@ class PulseClient:
     @property
     def requests_lost(self) -> int:
         return self._m_requests_lost.value
+
+    @property
+    def admission_retries(self) -> int:
+        return self._m_admission_retries.value
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted traversals that have not completed yet."""
+        return self._in_flight
 
     # -- receive path ---------------------------------------------------------
     def _rx_loop(self):
@@ -104,27 +252,59 @@ class PulseClient:
             self._m_duplicates.inc()
 
     # -- submit path ------------------------------------------------------------
+    def submit(self, iterator: PulseIterator,
+               *args) -> PendingTraversal:
+        """Issue one traversal asynchronously; returns immediately.
+
+        The traversal runs as its own process: through the doorbell
+        batcher and the offloaded rack path, or through the local
+        fallback for rejected programs.  Wait for the result with
+        ``yield from pending.wait()`` inside a process, or read
+        ``pending.result`` after the simulation has run it to completion.
+        """
+        process = self.env.process(self._run_traversal(iterator, args))
+        return PendingTraversal(self.env, process)
+
     def traverse(self, iterator: PulseIterator, *args):
-        """Process: run one traversal; returns a TraversalResult."""
+        """Process: run one traversal; returns a TraversalResult.
+
+        Thin submit-and-wait wrapper over :meth:`submit`, kept as the
+        closed-loop interface the workload driver uses.
+        """
+        pending = self.submit(iterator, *args)
+        result = yield from pending.wait()
+        return result
+
+    def _run_traversal(self, iterator: PulseIterator, args):
         start = self.env.now
+        self._in_flight += 1
+        self._m_in_flight.set(float(self._in_flight))
+        try:
+            result = yield from self._traversal_body(iterator, args, start)
+        finally:
+            self._in_flight -= 1
+            self._m_in_flight.set(float(self._in_flight))
+        self._finish(result)
+        return result
+
+    def _traversal_body(self, iterator: PulseIterator, args, start: float):
         decision = self.engine.decide(iterator.program)
         if not decision.offload:
             result = yield from self._execute_local(iterator, args, start)
-            self._finish(result)
             return result
 
         request = self.engine.make_request(iterator, *args,
                                            issued_at_ns=start)
         self.tracer.record(self.name, "issue", request.request_id,
                            program=request.program.name)
-        response = yield from self._send_and_wait(request)
+        response = yield from self._dispatch(request)
         while response.status in (RequestStatus.ITER_LIMIT,
                                   RequestStatus.RUNNING):
             # ITER_LIMIT: section 3.1 continuation after the accelerator's
             # per-request budget.  RUNNING: only in pulse-ACC mode, where
             # inter-node hops bounce through this CPU node (Fig 8).
             request = self.engine.continuation(response, self.env.now)
-            response = yield from self._send_and_wait(request)
+            response = yield from self._dispatch(request)
 
         faulted = response.status is RequestStatus.FAULT
         result = TraversalResult(
@@ -133,36 +313,57 @@ class PulseClient:
             latency_ns=self.env.now - start,
             offloaded=True,
             hops=response.node_hops,
-            faulted=faulted,
-            fault_reason=response.fault_reason,
+            fault=(FaultInfo(reason=response.fault_reason, kind="remote")
+                   if faulted else None),
         )
         self.tracer.record(self.name, "complete", response.request_id,
                            status=response.status.value,
                            iterations=response.iterations_done,
                            hops=response.node_hops)
-        self._finish(result)
         return result
 
     def _finish(self, result: TraversalResult) -> None:
         self._m_traversals.inc()
-        if result.faulted:
+        if not result.ok:
             self._m_faults.inc()
         self._latency.record(result.latency_ns)
         self.completed.append(result)
+
+    def _dispatch(self, request: TraversalRequest):
+        """Send one request, absorbing admission-control NACKs.
+
+        A RETRY response means the accelerator's admission queue was
+        full; back off exponentially (with jitter, capped) and resubmit
+        the traversal *from the state the NACK carried* -- a rerouted
+        continuation may have made progress before being NACKed at the
+        next node.
+        """
+        net = self.params.network
+        backoff = net.retry_backoff_ns
+        retries = 0
+        response = yield from self._send_and_wait(request)
+        while response.status is RequestStatus.RETRY:
+            retries += 1
+            if retries > MAX_ADMISSION_RETRIES:
+                self._m_requests_lost.inc()
+                raise RequestLost(
+                    f"request {request.request_id} rejected by admission "
+                    f"control {retries} times")
+            self._m_admission_retries.inc()
+            self.tracer.record(self.name, "admission_retry",
+                               request.request_id, attempt=retries)
+            yield self.env.timeout(backoff * self._rng.uniform(0.5, 1.5))
+            backoff = min(backoff * 2.0, net.retry_backoff_cap_ns)
+            request = self.engine.continuation(response, self.env.now)
+            response = yield from self._send_and_wait(request)
+        return response
 
     def _send_and_wait(self, request: TraversalRequest):
         waiter = self.env.event()
         self._waiters[request.request_id] = waiter
         attempts = 0
         while True:
-            yield from self._hold_stack()
-            self.fabric.send(Message(
-                kind=PULSE_KIND,
-                src=self.name,
-                dst=self.switch_name,
-                size_bytes=request.wire_bytes(),
-                payload=request,
-            ), segments=1)
+            yield from self.batcher.enqueue(request)
             timer = self.env.timeout(
                 self.params.network.retransmit_timeout_ns)
             yield self.env.any_of([waiter, timer])
@@ -202,8 +403,7 @@ class PulseClient:
         window_offset, window_size = iterator.program.load_window
 
         iterations = 0
-        faulted = False
-        fault_reason = ""
+        fault: Optional[FaultInfo] = None
         while True:
             # Remote read round trip for this iteration's window.
             yield from self._hold_stack()
@@ -220,9 +420,11 @@ class PulseClient:
                 self.memory.read(read_addr, window_size)  # validity check
                 step = machine.run_iteration(self.memory.read,
                                              self.memory.write)
-            except (ExecutionFault, TranslationFault) as exc:
-                faulted = True
-                fault_reason = str(exc)
+            except ExecutionFault as exc:
+                fault = FaultInfo(reason=str(exc), kind="execution")
+                break
+            except TranslationFault as exc:
+                fault = FaultInfo(reason=str(exc), kind="translation")
                 break
             iterations += 1
             yield self.env.timeout(
@@ -230,18 +432,18 @@ class PulseClient:
             if step.outcome is IterationOutcome.DONE:
                 break
             if iterations >= acc.max_iterations:
-                faulted = True
-                fault_reason = "local execution exceeded iteration budget"
+                fault = FaultInfo(
+                    reason="local execution exceeded iteration budget",
+                    kind="budget")
                 break
 
         return TraversalResult(
-            value=(None if faulted
+            value=(None if fault is not None
                    else iterator.finalize(bytes(machine.scratch))),
             iterations=iterations,
             latency_ns=self.env.now - start,
             offloaded=False,
-            faulted=faulted,
-            fault_reason=fault_reason,
+            fault=fault,
         )
 
     def _hold_stack(self):

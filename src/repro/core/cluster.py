@@ -16,11 +16,12 @@ DPDK stack -> switch routing -> accelerator netstack/scheduler/pipelines
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.driver import WorkloadStats, run_workload
 from repro.core.accelerator import Accelerator
-from repro.core.client import PulseClient
+from repro.core.client import PendingTraversal, PulseClient
 from repro.core.iterator import PulseIterator, TraversalResult
 from repro.core.offload import OffloadEngine
 from repro.core.switch import PulseSwitch
@@ -48,6 +49,8 @@ class PulseCluster:
                  tcam_capacity: int = 1024,
                  client_count: int = 1,
                  client_table_capacity: Optional[int] = None,
+                 batch_size: int = 1,
+                 flush_ns: Optional[float] = None,
                  trace: bool = False,
                  seed: int = 0):
         self.params = params if params is not None else DEFAULT_PARAMS
@@ -93,35 +96,63 @@ class PulseCluster:
         self.clients: List[PulseClient] = [
             PulseClient(self.env, self.fabric, self.params,
                         self.engines[i], self.memory,
-                        name=f"client{i}", tracer=self.tracer,
+                        name=f"client{i}", batch_size=batch_size,
+                        flush_ns=flush_ns, tracer=self.tracer,
                         registry=self.registry)
             for i in range(client_count)
         ]
-        # Back-compat single-client accessors.
-        self.engine = self.engines[0]
-        self.client = self.clients[0]
         self._next_client = 0
+
+    # -- deprecated single-client accessors --------------------------------------
+    @property
+    def engine(self) -> OffloadEngine:
+        """Deprecated: use ``cluster.engines[0]``."""
+        warnings.warn(
+            "PulseCluster.engine is deprecated; use cluster.engines[0]",
+            DeprecationWarning, stacklevel=2)
+        return self.engines[0]
+
+    @property
+    def client(self) -> PulseClient:
+        """Deprecated: use ``cluster.clients[0]``."""
+        warnings.warn(
+            "PulseCluster.client is deprecated; use cluster.clients[0]",
+            DeprecationWarning, stacklevel=2)
+        return self.clients[0]
 
     @property
     def node_count(self) -> int:
         return self.memory.node_count
 
     # -- running work -----------------------------------------------------------
+    def _pick_client(self) -> PulseClient:
+        client = self.clients[self._next_client]
+        self._next_client = (self._next_client + 1) % len(self.clients)
+        return client
+
+    def submit(self, iterator: PulseIterator,
+               *args) -> PendingTraversal:
+        """Issue one traversal asynchronously; returns immediately.
+
+        With multiple CPU nodes, successive calls round-robin across
+        them, so many in-flight submissions naturally spread over the
+        clients (and their doorbell batchers).
+        """
+        return self._pick_client().submit(iterator, *args)
+
     def traverse(self, iterator: PulseIterator, *args):
         """Generator interface used by the workload driver.
 
-        With multiple CPU nodes, successive calls round-robin across
-        them, so concurrent workers naturally spread over the clients.
+        Thin submit-and-wait wrapper over :meth:`submit`.
         """
-        client = self.clients[self._next_client]
-        self._next_client = (self._next_client + 1) % len(self.clients)
-        result = yield from client.traverse(iterator, *args)
+        result = yield from self._pick_client().traverse(iterator, *args)
         return result
 
     def run_traversal(self, iterator: PulseIterator,
                       *args) -> TraversalResult:
         """Convenience: run one traversal to completion synchronously."""
-        process = self.env.process(self.client.traverse(iterator, *args))
+        process = self.env.process(
+            self.clients[0].traverse(iterator, *args))
         return self.env.run(until=process)
 
     def run_workload(self, operations: Sequence[Tuple[PulseIterator, tuple]],

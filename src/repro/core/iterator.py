@@ -20,22 +20,78 @@ the CPU node itself with remote reads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.isa.program import Program
 
 
-@dataclass
-class TraversalResult:
-    """What the client hands back to the application."""
+@dataclass(frozen=True)
+class FaultInfo:
+    """Structured description of a failed traversal.
 
-    value: Any
-    iterations: int
-    latency_ns: float = 0.0
-    offloaded: bool = True
-    hops: int = 0               # inter-memory-node continuations
-    faulted: bool = False
-    fault_reason: str = ""
+    ``kind`` classifies where the fault arose: ``"execution"`` (ISA
+    fault in the iterator logic), ``"translation"`` (bad pointer),
+    ``"protection"`` (permission check), ``"budget"`` (iteration cap
+    exhausted without completion), or ``"remote"`` (reported by the
+    rack in a FAULT response, reason string carried on the wire).
+    """
+
+    reason: str
+    kind: str = "execution"
+
+    def __str__(self) -> str:
+        return self.reason
+
+
+class TraversalResult:
+    """What the client hands back to the application.
+
+    Fault state is a structured :class:`FaultInfo` under ``fault``
+    (``None`` on success); ``ok`` is the success predicate.  The former
+    ``faulted``/``fault_reason`` field pair is kept as deprecated
+    read-only compatibility properties (and as constructor keywords for
+    older callers), derived from ``fault``.
+    """
+
+    __slots__ = ("value", "iterations", "latency_ns", "offloaded",
+                 "hops", "fault")
+
+    def __init__(self, value: Any, iterations: int,
+                 latency_ns: float = 0.0, offloaded: bool = True,
+                 hops: int = 0, fault: Optional[FaultInfo] = None,
+                 faulted: bool = False, fault_reason: str = ""):
+        if fault is None and (faulted or fault_reason):
+            # Legacy constructor keywords: promote to the structured form.
+            fault = FaultInfo(reason=fault_reason or "unspecified fault")
+        self.value = value
+        self.iterations = iterations
+        self.latency_ns = latency_ns
+        self.offloaded = offloaded
+        self.hops = hops               # inter-memory-node continuations
+        self.fault = fault
+
+    @property
+    def ok(self) -> bool:
+        """True when the traversal completed without a fault."""
+        return self.fault is None
+
+    # -- deprecated compatibility properties ---------------------------------
+    @property
+    def faulted(self) -> bool:
+        """Deprecated: use ``not result.ok`` / ``result.fault``."""
+        return self.fault is not None
+
+    @property
+    def fault_reason(self) -> str:
+        """Deprecated: use ``result.fault.reason``."""
+        return self.fault.reason if self.fault is not None else ""
+
+    def __repr__(self) -> str:
+        return (f"TraversalResult(value={self.value!r}, "
+                f"iterations={self.iterations}, "
+                f"latency_ns={self.latency_ns}, "
+                f"offloaded={self.offloaded}, hops={self.hops}, "
+                f"fault={self.fault!r})")
 
 
 class PulseIterator:

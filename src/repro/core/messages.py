@@ -10,8 +10,8 @@ shape and the switch forwards it onward (section 5).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
 
 from repro.isa.program import Program
 
@@ -28,6 +28,7 @@ class RequestStatus(enum.Enum):
     DONE = "done"              # RETURN reached; scratch pad is the answer
     ITER_LIMIT = "iter_limit"  # MAX_ITER hit; client may continue it
     FAULT = "fault"            # translation/protection/execution fault
+    RETRY = "retry"            # admission queue full; resubmit after backoff
 
 
 @dataclass
@@ -85,3 +86,34 @@ class TraversalRequest:
             fault_reason=fault_reason,
             code_on_wire=False,
         )
+
+
+@dataclass
+class TraversalBatch:
+    """Several traversal requests coalesced into one network message.
+
+    The client's doorbell batcher packs up to ``batch_size`` requests
+    behind a single frame, so per-message costs (Ethernet framing, the
+    CPU node's DPDK stack span, the accelerator's netstack parse) are
+    paid once per *batch* instead of once per *request*.  The switch
+    splits a batch by owning memory node; the accelerator unpacks it
+    into its admission queues.  Responses always travel individually --
+    requests in one batch complete at different times.
+    """
+
+    requests: List[TraversalRequest]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a traversal batch needs at least one request")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[TraversalRequest]:
+        return iter(self.requests)
+
+    def wire_bytes(self) -> int:
+        """On-wire size: one shared frame + each request sans framing."""
+        return FRAME_BYTES + sum(r.wire_bytes() - FRAME_BYTES
+                                 for r in self.requests)

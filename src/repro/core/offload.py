@@ -89,16 +89,20 @@ class OffloadEngine:
                      issued_at_ns: float) -> TraversalRequest:
         """A follow-up request resuming an ITER_LIMIT'd traversal.
 
-        Two cases produce continuations: ITER_LIMIT (section 3.1 -- the
-        accelerator's per-request iteration budget ran out) and RUNNING
+        Three cases produce continuations: ITER_LIMIT (section 3.1 -- the
+        accelerator's per-request iteration budget ran out), RUNNING
         responses delivered to the client, which only happens in the
         pulse-ACC configuration where inter-node continuations bounce
-        through the CPU node instead of being re-routed in-switch (Fig 8).
+        through the CPU node instead of being re-routed in-switch (Fig 8),
+        and RETRY NACKs from admission control -- the resubmission must
+        resume from the state the NACK carried, because a rerouted
+        continuation may have made progress before being rejected.
         """
         if response.status not in (RequestStatus.ITER_LIMIT,
-                                   RequestStatus.RUNNING):
-            raise ValueError("continuation only applies to ITER_LIMIT or "
-                             "RUNNING responses")
+                                   RequestStatus.RUNNING,
+                                   RequestStatus.RETRY):
+            raise ValueError("continuation only applies to ITER_LIMIT, "
+                             "RUNNING, or RETRY responses")
         return TraversalRequest(
             request_id=self.next_request_id(),
             program=response.program,

@@ -22,7 +22,7 @@ Two policies are provided:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List
 
 from repro.sim.engine import Environment, Event
 
@@ -34,6 +34,18 @@ class WorkspacePool:
         self.env = env
         self._free: Deque[int] = deque(tokens)
         self.grants = 0
+        #: queue depth observed at each enqueue (None until a registry
+        #: is attached); feeds the admission/backpressure metrics
+        self._depth_hist = None
+
+    def attach_metrics(self, registry, prefix: str) -> None:
+        """Register queue-depth observability under ``<prefix>.*``.
+
+        ``<prefix>.queue_depth`` is a histogram sampled at every enqueue
+        (arrival-weighted depth distribution -- a gauge alone would
+        always read 0 in an end-of-run snapshot).
+        """
+        self._depth_hist = registry.histogram(f"{prefix}.queue_depth")
 
     def acquire(self, tenant: int = 0) -> Event:
         """Event that fires with a core id once a workspace is granted."""
@@ -42,6 +54,8 @@ class WorkspacePool:
             self._grant(event)
         else:
             self._enqueue(tenant, event)
+            if self._depth_hist is not None:
+                self._depth_hist.record(self.queue_length())
         return event
 
     def release(self, core_id: int) -> None:

@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.accelerator import PULSE_KIND
-from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.messages import (RequestStatus, TraversalBatch,
+                                 TraversalRequest)
 from repro.mem.addrspace import AddressSpace
 from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
@@ -69,6 +70,8 @@ class PulseSwitch:
         self._m_returned = registry.counter("switch.returned_to_client")
         self._m_dropped_stale = registry.counter("switch.dropped_stale")
         self._m_evicted = registry.counter("switch.evicted_entries")
+        self._m_batches = registry.counter("switch.batches_routed")
+        self._m_batch_splits = registry.counter("switch.batch_splits")
         registry.gauge("switch.client_table_occupancy",
                        fn=lambda: len(self._client_of))
         env.process(self._route_loop())
@@ -113,6 +116,9 @@ class PulseSwitch:
             self._route(message)
 
     def _route(self, message: Message) -> None:
+        if isinstance(message.payload, TraversalBatch):
+            self._route_batch(message)
+            return
         request: TraversalRequest = message.payload
         from_memory = message.src.startswith("mem")
 
@@ -165,6 +171,60 @@ class PulseSwitch:
                            request.request_id, dst=client)
         self._client_of.pop(request.request_id, None)
         self._forward(message, client)
+
+    def _route_batch(self, message: Message) -> None:
+        """Split one multi-request message by owning memory node.
+
+        The hardware analogue is a recirculating deparse: the switch
+        groups a batch's requests by the range rule their ``cur_ptr``
+        matches and emits one (possibly smaller) batch per memory node.
+        Unroutable entries are FAULTed back to the client individually.
+        """
+        batch: TraversalBatch = message.payload
+        self._m_batches.inc()
+        from_memory = message.src.startswith("mem")
+        per_owner: Dict[int, list] = {}
+        for request in batch:
+            if not from_memory:
+                if (request.request_id not in self._client_of
+                        and len(self._client_of)
+                        >= self.client_table_capacity):
+                    self._client_of.pop(next(iter(self._client_of)))
+                    self._m_evicted.inc()
+                self._client_of[request.request_id] = message.src
+            owner = self.addrspace.node_of(request.cur_ptr)
+            if owner is None:
+                request.status = RequestStatus.FAULT
+                request.fault_reason = (
+                    f"switch: unroutable pointer {request.cur_ptr:#x}")
+                client = self._client_of.pop(request.request_id,
+                                             message.src)
+                self._m_returned.inc()
+                self._send(request, request.wire_bytes(), client)
+                continue
+            self._m_routed.inc()
+            self.tracer.record(self.name, "route_to_memory",
+                               request.request_id, dst=f"mem{owner}")
+            per_owner.setdefault(owner, []).append(request)
+        if len(per_owner) > 1:
+            self._m_batch_splits.inc()
+        for owner, requests in per_owner.items():
+            if len(requests) == 1:
+                payload: object = requests[0]
+                size = requests[0].wire_bytes()
+            else:
+                payload = TraversalBatch(requests)
+                size = payload.wire_bytes()
+            self._send(payload, size, f"mem{owner}")
+
+    def _send(self, payload, size_bytes: int, dst: str) -> None:
+        self.fabric.send(Message(
+            kind=PULSE_KIND,
+            src=self.name,
+            dst=dst,
+            size_bytes=size_bytes,
+            payload=payload,
+        ), segments=1)
 
     def _forward(self, message: Message, dst: str) -> None:
         self.fabric.send(Message(

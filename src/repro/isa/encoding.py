@@ -33,7 +33,7 @@ Program.wire_bytes` reports the true encoded size (memoized).
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.isa.instructions import (
     Bank,

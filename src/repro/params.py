@@ -99,6 +99,11 @@ class AcceleratorParams:
     scratchpad_bytes: int = 4 * KB
     #: per-request iteration cap before forced RETURN (section 3.1)
     max_iterations: int = 4096
+    #: per-core bound on requests queued for a workspace; arrivals past
+    #: the bound are NACKed with ``RequestStatus.RETRY`` instead of
+    #: growing an unbounded on-chip queue (the accelerator's SRAM for
+    #: parked requests is finite), pushing overload back to the clients
+    admission_queue_depth: int = 64
 
     def occupancy_ns(self, size_bytes: int) -> float:
         """Memory-pipeline hold time per load (sets peak throughput)."""
@@ -151,6 +156,14 @@ class NetworkParams:
     #: legitimate traversal (hundreds of microseconds for many-hop
     #: distributed scans), or duplicates pile load onto the accelerators
     retransmit_timeout_ns: float = 2_000.0 * US
+    #: initial client backoff after an admission-control RETRY NACK;
+    #: doubles per consecutive NACK (with jitter) up to the cap below
+    retry_backoff_ns: float = 2.0 * US
+    #: ceiling on the exponential RETRY backoff
+    retry_backoff_cap_ns: float = 64.0 * US
+    #: doorbell flush timer: a partial batch is sent after this long
+    #: even if ``batch_size`` was never reached
+    doorbell_flush_ns: float = 2.0 * US
 
 
 @dataclass(frozen=True)

@@ -19,8 +19,8 @@ compatibility properties over the registry.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.params import NetworkParams
@@ -65,6 +65,10 @@ class Endpoint:
         self._rx_bytes = registry.counter(f"{prefix}.rx_bytes")
         self._tx_messages = registry.counter(f"{prefix}.tx_messages")
         self._rx_messages = registry.counter(f"{prefix}.rx_messages")
+        #: distribution of transmitted message sizes; batching shifts
+        #: this up while dropping tx_messages -- the amortization signal
+        self._tx_message_bytes = registry.histogram(
+            f"{prefix}.tx_message_bytes")
         registry.gauge(f"{prefix}.tx_bandwidth_bytes_per_ns",
                        fn=self._tx_bandwidth)
         registry.gauge(f"{prefix}.rx_bandwidth_bytes_per_ns",
@@ -201,6 +205,7 @@ class Fabric:
             yield self.env.timeout(serialization)
             src._tx_bytes.inc(message.size_bytes)
             src._tx_messages.inc()
+            src._tx_message_bytes.record(message.size_bytes)
         finally:
             src.egress.release(grant)
 

@@ -29,7 +29,7 @@ compute budget (eta < 1):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.iterator import PulseIterator
 from repro.core.kernel import KernelBuilder

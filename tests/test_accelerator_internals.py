@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core import PulseCluster
-from repro.core.accelerator import PULSE_KIND
-from repro.core.messages import RequestStatus, TraversalRequest
-from repro.params import AcceleratorParams, DEFAULT_PARAMS, SystemParams
+from repro.core.messages import RequestStatus
+from repro.params import AcceleratorParams, SystemParams
 from repro.structures import LinkedList
 
 
@@ -101,7 +100,7 @@ class TestSwitchBehaviour:
             assert result.value == key
         # With duplicates in flight, the switch dropped the stale ones
         # rather than misrouting them.
-        assert cluster.client.retransmissions > 0
+        assert cluster.clients[0].retransmissions > 0
 
 
 class TestProtectionPath:
@@ -135,7 +134,7 @@ class TestRequestWireFormat:
     def test_wire_size_includes_code_and_scratch(self):
         cluster, lst = make_list_cluster()
         finder = lst.find_iterator()
-        first = cluster.engine.make_request(finder, 5)
+        first = cluster.engines[0].make_request(finder, 5)
         # First use ships the encoded program (header + name + 8 B per
         # instruction + constant pool)...
         expected = (128  # frame + header
@@ -145,7 +144,7 @@ class TestRequestWireFormat:
         assert first.wire_bytes() == expected
         assert first.code_on_wire
         # ... later requests carry only the 16 B program handle.
-        second = cluster.engine.make_request(finder, 6)
+        second = cluster.engines[0].make_request(finder, 6)
         assert not second.code_on_wire
         assert second.wire_bytes() == (128 + 16 + 8
                                        + len(second.scratch))
@@ -153,7 +152,7 @@ class TestRequestWireFormat:
 
     def test_advanced_preserves_identity(self):
         cluster, lst = make_list_cluster()
-        request = cluster.engine.make_request(lst.find_iterator(), 5)
+        request = cluster.engines[0].make_request(lst.find_iterator(), 5)
         response = request.advanced(0x42, b"\x01", 3,
                                     RequestStatus.DONE)
         assert response.request_id == request.request_id
@@ -201,7 +200,7 @@ class TestLocalFallback:
         cluster, lst = make_list_cluster(n=30)
         heavy_cls = self._heavy_iterator(cluster)
         heavy = heavy_cls(lst.head)
-        decision = cluster.engine.decide(heavy.program)
+        decision = cluster.engines[0].decide(heavy.program)
         assert not decision.offload
         result = cluster.run_traversal(heavy)
         assert not result.offloaded

@@ -14,7 +14,6 @@ from repro.isa import Opcode
 from repro.mem import Field, StructLayout
 from repro.params import (
     AcceleratorParams,
-    DEFAULT_PARAMS,
     NetworkParams,
     SystemParams,
 )
@@ -276,7 +275,7 @@ class TestDistributedTraversal:
         assert result.hops == 9
         assert cluster.switch.rerouted_node_to_node == 9
         # In-switch mode: the client saw exactly one response.
-        assert cluster.client.endpoint.rx_messages == 1
+        assert cluster.clients[0].endpoint.rx_messages == 1
 
     def test_acc_mode_bounces_through_client(self):
         cluster, addrs = self._two_node_cluster(bounce=True)
@@ -284,7 +283,7 @@ class TestDistributedTraversal:
         assert result.value == 100
         assert cluster.switch.rerouted_node_to_node == 0
         # Every hop produced a client round trip.
-        assert cluster.client.endpoint.rx_messages == 10
+        assert cluster.clients[0].endpoint.rx_messages == 10
 
     def test_acc_mode_slower_than_in_switch(self):
         in_switch, addrs_a = self._two_node_cluster(bounce=False)
@@ -325,7 +324,7 @@ class TestRetransmission:
             result = cluster.run_traversal(finder, key)
             assert result.value == key
         assert cluster.fabric.dropped_messages > 0
-        assert cluster.client.retransmissions > 0
+        assert cluster.clients[0].retransmissions > 0
 
 
 class TestWorkloadDriver:

@@ -9,7 +9,6 @@ from repro.params import (
     AcceleratorParams,
     CpuParams,
     NetworkParams,
-    SystemParams,
     describe,
     gBps_to_bytes_per_ns,
     gbps_to_bytes_per_ns,

@@ -18,6 +18,7 @@ QUICK_EXAMPLES = [
     "python_kernels.py",
     "distributed_traversal.py",
     "trace_timeline.py",
+    "submit_pipeline.py",
 ]
 
 

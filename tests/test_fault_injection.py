@@ -38,7 +38,7 @@ class TestLossyNetworks:
         finder = lst.find_iterator()
         for key in range(1, 21):
             assert cluster.run_traversal(finder, key).value == key * 5
-        assert cluster.client.retransmissions > 0
+        assert cluster.clients[0].retransmissions > 0
 
     def test_duplicate_responses_do_not_corrupt_results(self):
         # Loss forces retransmissions whose duplicates race the
@@ -60,7 +60,7 @@ class TestLossyNetworks:
         finder = lst.find_iterator()
         for key in range(1, 11):
             cluster.run_traversal(finder, key)
-        assert cluster.client.retransmissions == 0
+        assert cluster.clients[0].retransmissions == 0
         assert cluster.fabric.dropped_messages == 0
 
 
@@ -105,9 +105,8 @@ class TestCorruptPointers:
 
         # The client keeps continuing ITER_LIMIT responses; guard with a
         # wall-clock bound by running a limited number of continuations.
-        import repro.core.client as client_mod
         process = cluster.env.process(
-            cluster.client.traverse(finder, 99))
+            cluster.clients[0].traverse(finder, 99))
         # Run at most 2 ms simulated; the traversal must still be
         # cycling (the system stays live, no crash).
         cluster.env.run(until=2_000_000)

@@ -13,7 +13,6 @@ from repro.isa import (
     Program,
     analyze,
     assemble,
-    cur_ptr,
     data,
     disassemble,
     imm,

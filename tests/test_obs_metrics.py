@@ -1,7 +1,6 @@
 """Unit tests for the observability subsystem (repro.obs)."""
 
 import json
-import math
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.obs import (
     Histogram,
     MetricError,
     MetricsRegistry,
-    Span,
 )
 
 

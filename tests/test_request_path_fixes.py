@@ -18,7 +18,6 @@ import pytest
 from repro.core import PulseCluster
 from repro.core.client import MAX_RETRIES, RequestLost
 from repro.core.messages import RequestStatus, TraversalRequest
-from repro.core.offload import OffloadEngine
 from repro.core.switch import PulseSwitch
 from repro.isa import assemble
 from repro.mem import AddressSpace
@@ -56,7 +55,7 @@ class TestOffloadDigestKeying:
         l2 = LinkedList(cluster.memory)
         i1, i2 = l1.find_iterator(), l2.find_iterator()
         assert i1.program is not i2.program
-        engine = cluster.engine
+        engine = cluster.engines[0]
         assert engine.decide(i1.program) is engine.decide(i2.program)
 
     def test_identical_program_deploys_once(self):
@@ -67,7 +66,7 @@ class TestOffloadDigestKeying:
         l2 = LinkedList(cluster.memory)
         l1.extend([(1, 10)])
         l2.extend([(2, 20)])
-        engine = cluster.engine
+        engine = cluster.engines[0]
         r1 = engine.make_request(l1.find_iterator(), 1)
         r2 = engine.make_request(l2.find_iterator(), 2)
         assert r1.code_on_wire
@@ -78,7 +77,7 @@ class TestOffloadDigestKeying:
         lst = LinkedList(cluster.memory)
         lst.extend([(1, 10)])
         iterator = lst.find_iterator()
-        request = cluster.engine.make_request(iterator, 1)
+        request = cluster.engines[0].make_request(iterator, 1)
         assert request.code_handle == iterator.program.digest()
         assert len(request.code_handle) == request.CODE_HANDLE_BYTES
 
@@ -86,10 +85,10 @@ class TestOffloadDigestKeying:
         cluster = PulseCluster(node_count=1)
         lst = LinkedList(cluster.memory)
         lst.extend([(1, 10)])
-        request = cluster.engine.make_request(lst.find_iterator(), 1)
+        request = cluster.engines[0].make_request(lst.find_iterator(), 1)
         response = request.advanced(request.cur_ptr, b"", 1,
                                     RequestStatus.ITER_LIMIT)
-        cont = cluster.engine.continuation(response, 0.0)
+        cont = cluster.engines[0].continuation(response, 0.0)
         assert cont.code_handle == request.code_handle
         assert not cont.code_on_wire
 
@@ -174,18 +173,18 @@ class TestRetransmitAccounting:
         lst.extend([(1, 10)])
         with pytest.raises(RequestLost):
             cluster.run_traversal(lst.find_iterator(), 1)
-        assert cluster.client.retransmissions == MAX_RETRIES
+        assert cluster.clients[0].retransmissions == MAX_RETRIES
         # Original + retransmissions, each one message to the switch.
-        assert cluster.client.endpoint.tx_messages == MAX_RETRIES + 1
-        assert cluster.client.requests_lost == 1
+        assert cluster.clients[0].endpoint.tx_messages == MAX_RETRIES + 1
+        assert cluster.clients[0].requests_lost == 1
 
     def test_zero_loss_zero_retransmissions(self):
         cluster = PulseCluster(node_count=1)
         lst = LinkedList(cluster.memory)
         lst.extend([(1, 10)])
         assert cluster.run_traversal(lst.find_iterator(), 1).value == 10
-        assert cluster.client.retransmissions == 0
-        assert cluster.client.requests_lost == 0
+        assert cluster.clients[0].retransmissions == 0
+        assert cluster.clients[0].requests_lost == 0
 
 
 class TestUtilizationWindows:
@@ -273,11 +272,11 @@ class TestDuplicateDeliveryDedup:
         finder = lst.find_iterator()
         for key in range(1, 31):
             assert cluster.run_traversal(finder, key).value == key * 3
-        assert cluster.client.retransmissions > 0
+        assert cluster.clients[0].retransmissions > 0
         assert cluster.switch.dropped_stale > 0
-        assert cluster.client.duplicates_dropped > 0
+        assert cluster.clients[0].duplicates_dropped > 0
         snapshot = cluster.metrics_snapshot()
         assert (snapshot["counters"]["switch.dropped_stale"]
                 == cluster.switch.dropped_stale)
         assert (snapshot["counters"]["client0.client.duplicates_dropped"]
-                == cluster.client.duplicates_dropped)
+                == cluster.clients[0].duplicates_dropped)

@@ -3,7 +3,7 @@ and pulse kernels (run via the zero-time reference executor)."""
 
 import pytest
 
-from repro.mem import GlobalMemory, PlacementPolicy
+from repro.mem import GlobalMemory
 from repro.structures import (
     BPlusTree,
     BinarySearchTree,

@@ -1,7 +1,5 @@
 """Unit tests for switch routing logic and message lifecycle details."""
 
-import pytest
-
 from repro.core import PulseCluster, RequestStatus
 from repro.core.messages import TraversalRequest
 from repro.core.switch import PulseSwitch

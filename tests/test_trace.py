@@ -1,7 +1,5 @@
 """Tests for request tracing."""
 
-import pytest
-
 from repro.core import PulseCluster
 from repro.sim import Environment
 from repro.sim.trace import NullTracer, Tracer
