@@ -1,0 +1,136 @@
+"""Simulator wall-clock benchmark: interpreted vs compiled kernels.
+
+Unlike every other file in this directory, which measures *simulated*
+time, this one measures the *simulator's own* speed -- the reason the
+threaded-code compile tier (``repro.isa.compiler``) exists.  Two
+measurements:
+
+* **Microbench**: raw ``IteratorMachine`` iterations/sec chasing a ring
+  of list nodes in a flat byte image, interpreted vs compiled.  This
+  isolates the ISA execution loop from the discrete-event engine.
+* **End to end**: one open-loop pulse cell (UPC workload) wall clock
+  with ``PULSE_INTERP=1`` vs the compiled default.  The event engine
+  dominates here, so the win is smaller, but compiled mode must never
+  be meaningfully slower.
+
+Results land in ``benchmarks/results/BENCH_wallclock.json``.  The ISSUE
+acceptance bar -- compiled >= 3x interpreted on the microbench -- is
+asserted, so CI fails on a compile-tier performance regression.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, SCALE, scale_requests
+
+from repro.bench.experiments import run_open_loop_cell
+from repro.isa import IteratorMachine, assemble
+
+NODE_STRIDE = 24
+RING_BASE = 4096
+RING_NODES = 512
+
+WALK_ASM = """
+.name wallclock_walk
+.scratch 16
+    LOAD 0 24
+    SUB sp[0] sp[0] #1          ; remaining hops
+    MOVE sp[8] data[8]          ; touch the value
+    COMPARE sp[0] #0
+    JUMP_LE done
+    MOVE cur_ptr data[16]:8u
+    NEXT_ITER
+done:
+    RETURN
+"""
+
+UPC_KW = {"num_pairs": 2000, "chain_length": 4}
+
+
+def build_ring_image():
+    """A ring of RING_NODES list nodes in one flat byte image."""
+    image = bytearray(RING_BASE + RING_NODES * NODE_STRIDE)
+    for i in range(RING_NODES):
+        base = RING_BASE + i * NODE_STRIDE
+        nxt = RING_BASE + ((i + 1) % RING_NODES) * NODE_STRIDE
+        image[base:base + 8] = i.to_bytes(8, "little")
+        image[base + 8:base + 16] = (i * 7).to_bytes(8, "little")
+        image[base + 16:base + 24] = nxt.to_bytes(8, "little")
+    return bytes(image)
+
+
+def measure_iterations_per_sec(compiled: bool, hops: int,
+                               rounds: int = 3) -> float:
+    program = assemble(WALK_ASM)
+    image = build_ring_image()
+
+    def read(vaddr, size):
+        return image[vaddr:vaddr + size]
+
+    machine = IteratorMachine(program, compiled=compiled)
+    best = 0.0
+    for _ in range(rounds):
+        machine.reset(RING_BASE, hops.to_bytes(8, "little"))
+        start = time.perf_counter()
+        machine.run(read, max_iterations=hops + 1)
+        elapsed = time.perf_counter() - start
+        assert machine.iterations == hops
+        best = max(best, hops / elapsed)
+    return best
+
+
+def measure_e2e_seconds(interpreted: bool) -> float:
+    previous = os.environ.get("PULSE_INTERP")
+    os.environ["PULSE_INTERP"] = "1" if interpreted else "0"
+    try:
+        start = time.perf_counter()
+        cell = run_open_loop_cell(
+            "pulse", "UPC", 8e6, node_count=1,
+            requests=scale_requests(300), seed=11,
+            workload_kwargs=UPC_KW)
+        elapsed = time.perf_counter() - start
+    finally:
+        if previous is None:
+            del os.environ["PULSE_INTERP"]
+        else:
+            os.environ["PULSE_INTERP"] = previous
+    assert cell.stats.completed > 0
+    return elapsed
+
+
+def test_compiled_tier_wallclock():
+    hops = max(2_000, int(20_000 * SCALE))
+    interp_ips = measure_iterations_per_sec(compiled=False, hops=hops)
+    compiled_ips = measure_iterations_per_sec(compiled=True, hops=hops)
+    micro_speedup = compiled_ips / interp_ips
+
+    e2e_interp_s = measure_e2e_seconds(interpreted=True)
+    e2e_compiled_s = measure_e2e_seconds(interpreted=False)
+    e2e_speedup = e2e_interp_s / e2e_compiled_s
+
+    report = {
+        "scale": SCALE,
+        "microbench": {
+            "hops": hops,
+            "interpreted_iterations_per_sec": round(interp_ips),
+            "compiled_iterations_per_sec": round(compiled_ips),
+            "speedup": round(micro_speedup, 2),
+        },
+        "end_to_end_open_loop": {
+            "requests": scale_requests(300),
+            "interpreted_wallclock_s": round(e2e_interp_s, 3),
+            "compiled_wallclock_s": round(e2e_compiled_s, 3),
+            "speedup": round(e2e_speedup, 2),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_wallclock.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n{json.dumps(report, indent=2)}\n[saved to {path}]")
+
+    # The acceptance bar for the compile tier.
+    assert micro_speedup >= 3.0, report
+    # The event engine dominates end to end; compiled mode must at the
+    # very least not regress wall clock (small slack for timer noise).
+    assert e2e_speedup >= 0.85, report

@@ -29,8 +29,9 @@ from collections import OrderedDict
 from repro.baselines.rpc import RpcSystem
 from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
 from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.workspace import MachinePool
 from repro.isa.instructions import ExecutionFault, wrap64
-from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.isa.interpreter import IterationOutcome
 from repro.mem.translation import TranslationFault
 
 
@@ -73,6 +74,13 @@ class CacheRpcSystem(RpcSystem):
             "client0.objcache.local_iterations")
         self._m_offloaded = self.registry.counter(
             "client0.objcache.offloaded_requests")
+        # Client-side walk frames, reused across traversals.
+        self._machines = MachinePool(
+            capacity=8,
+            reused=self.registry.counter(
+                "client0.objcache.workspace.reused"),
+            allocated=self.registry.counter(
+                "client0.objcache.workspace.allocated"))
 
     @property
     def local_iterations(self) -> int:
@@ -87,11 +95,18 @@ class CacheRpcSystem(RpcSystem):
         return "Cache+RPC"
 
     def traverse(self, iterator: PulseIterator, *args):
+        machine = self._machines.acquire(iterator.program)
+        try:
+            result = yield from self._traverse(iterator, machine, *args)
+            return result
+        finally:
+            self._machines.release(machine)
+
+    def _traverse(self, iterator: PulseIterator, machine, *args):
         start = self.env.now
         cpu = self.params.cpu
         net = self.params.network
         cur_ptr, scratch = iterator.init(*args)
-        machine = IteratorMachine(iterator.program)
         machine.reset(cur_ptr, scratch)
         window_offset, window_size = iterator.program.load_window
 

@@ -21,8 +21,9 @@ from typing import List, Optional
 
 from repro.baselines.common import BaselineSystem
 from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
+from repro.core.workspace import MachinePool
 from repro.isa.instructions import ExecutionFault, wrap64
-from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.isa.interpreter import IterationOutcome
 from repro.mem.translation import TranslationFault
 from repro.sim.network import Message
 from repro.sim.resources import Resource
@@ -92,6 +93,13 @@ class CacheSystem(BaselineSystem):
                             fn=lambda: self.cache.hit_ratio)
         self.registry.gauge("client0.cache.evictions",
                             fn=lambda: float(self.cache.evictions))
+        # CPU-node execution frames, reused across traversals.
+        self._machines = MachinePool(
+            capacity=8,
+            reused=self.registry.counter(
+                "client0.cache.workspace.reused"),
+            allocated=self.registry.counter(
+                "client0.cache.workspace.allocated"))
         self.env.process(self._drain_client_inbox())
 
     @property
@@ -108,9 +116,16 @@ class CacheSystem(BaselineSystem):
 
     # -- the traversal, executed at the CPU node ------------------------------
     def traverse(self, iterator: PulseIterator, *args):
+        machine = self._machines.acquire(iterator.program)
+        try:
+            result = yield from self._traverse(iterator, machine, *args)
+            return result
+        finally:
+            self._machines.release(machine)
+
+    def _traverse(self, iterator: PulseIterator, machine, *args):
         start = self.env.now
         cur_ptr, scratch = iterator.init(*args)
-        machine = IteratorMachine(iterator.program)
         machine.reset(cur_ptr, scratch)
         window_offset, window_size = iterator.program.load_window
         cpu = self.params.cpu

@@ -23,8 +23,9 @@ from typing import Dict, List, Optional
 from repro.baselines.common import BaselineSystem, workers_to_saturate
 from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
 from repro.core.messages import RequestStatus, TraversalRequest
+from repro.core.workspace import MachinePool
 from repro.isa.instructions import ExecutionFault, wrap64
-from repro.isa.interpreter import IterationOutcome, IteratorMachine
+from repro.isa.interpreter import IterationOutcome
 from repro.mem.translation import ProtectionFault
 from repro.sim.network import Message
 from repro.sim.resources import Resource
@@ -84,6 +85,12 @@ class _RpcServer:
         self._m_iterations = registry.counter(f"{prefix}.iterations")
         self._m_bytes = registry.counter(f"{prefix}.bytes_loaded")
         self._m_busy = registry.counter(f"{prefix}.busy_ns")
+        # The worker cores reuse machine frames across requests, one
+        # free frame per concurrent worker at most.
+        self.machines = MachinePool(
+            capacity=workers,
+            reused=registry.counter(f"{prefix}.workspace.reused"),
+            allocated=registry.counter(f"{prefix}.workspace.allocated"))
         self.env.process(self._serve_loop())
 
     def _serve_loop(self):
@@ -112,13 +119,20 @@ class _RpcServer:
             size_bytes=response.wire_bytes(), payload=response))
 
     def _execute(self, request: TraversalRequest):
+        machine = self.machines.acquire(request.program)
+        try:
+            response = yield from self._run_request(request, machine)
+            return response
+        finally:
+            self.machines.release(machine)
+
+    def _run_request(self, request: TraversalRequest, machine):
         system = self.system
         cpu = system.cpu
         acc = system.params.accelerator  # iteration budget only
         program = request.program
         window_offset, window_size = program.load_window
 
-        machine = IteratorMachine(program)
         try:
             machine.reset(request.cur_ptr, request.scratch)
         except ExecutionFault as exc:

@@ -31,10 +31,11 @@ from typing import List, Optional
 from repro.core.messages import (RequestStatus, TraversalBatch,
                                  TraversalRequest)
 from repro.core.scheduling import FairWorkspacePool, FifoWorkspacePool
+from repro.core.workspace import MachinePool
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.node import MemoryNode
-from repro.mem.translation import ProtectionFault
+from repro.mem.translation import ProtectionFault, TranslationCache
 from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
 from repro.sim.engine import Environment
@@ -130,13 +131,20 @@ class AcceleratorStats:
 
 
 class AcceleratorCore:
-    """One core: a memory access pipeline + logic pipelines."""
+    """One core: memory access pipeline, logic pipelines, TLB, frames.
+
+    ``tlb`` and ``workspace`` are attached by the owning
+    :class:`Accelerator` (they need the node's table and the shared
+    registry counters).
+    """
 
     def __init__(self, env: Environment, core_id: int,
                  logic_pipelines: int):
         self.core_id = core_id
         self.memory_pipeline = Resource(env, capacity=1)
         self.logic_pipeline = Resource(env, capacity=logic_pipelines)
+        self.tlb: Optional[TranslationCache] = None
+        self.workspace: Optional[MachinePool] = None
 
 
 class Accelerator:
@@ -216,6 +224,20 @@ class Accelerator:
         self._m_batches = registry.counter(f"{prefix}.batches")
         self._batch_size_hist = registry.histogram(f"{prefix}.batch_size")
         self._m_nacks = registry.counter(f"{prefix}.admission_nacks")
+        # Per-core translation caches and workspace frame pools; the
+        # hit/miss and reuse counters are shared across cores (one pair
+        # per accelerator in the registry).
+        tlb_hits = registry.counter(f"{prefix}.tlb.hits")
+        tlb_misses = registry.counter(f"{prefix}.tlb.misses")
+        ws_reused = registry.counter(f"{prefix}.workspace.reused")
+        ws_allocated = registry.counter(f"{prefix}.workspace.allocated")
+        for core in self.cores:
+            core.tlb = TranslationCache(
+                node.table, capacity=acc.tlb_entries_per_core,
+                hit_counter=tlb_hits, miss_counter=tlb_misses)
+            core.workspace = MachinePool(
+                capacity=acc.workspaces_per_core,
+                reused=ws_reused, allocated=ws_allocated)
         registry.gauge(f"{prefix}.admission_queue_depth",
                        fn=lambda: float(self.workspaces.queue_length()))
         self.workspaces.attach_metrics(registry, prefix)
@@ -303,17 +325,33 @@ class Accelerator:
         program = request.program
         window_offset, window_size = program.load_window
 
-        machine = IteratorMachine(program)
+        # Check out a reusable frame for this kernel instead of building
+        # a machine per request; reset() zero-fills its scratch in place.
+        machine = core.workspace.acquire(program)
         try:
-            machine.reset(request.cur_ptr, request.scratch)
-        except ExecutionFault as exc:
-            return request.advanced(request.cur_ptr, request.scratch, 0,
-                                    RequestStatus.FAULT, str(exc))
+            try:
+                machine.reset(request.cur_ptr, request.scratch)
+            except ExecutionFault as exc:
+                return request.advanced(request.cur_ptr, request.scratch,
+                                        0, RequestStatus.FAULT, str(exc))
+            response = yield from self._iterate(core, machine, request,
+                                                window_offset, window_size,
+                                                acc)
+            return response
+        finally:
+            core.workspace.release(machine)
 
+    def _iterate(self, core: AcceleratorCore, machine: IteratorMachine,
+                 request: TraversalRequest, window_offset: int,
+                 window_size: int, acc):
+        """The per-iteration memory/logic loop of one admitted request."""
+        program = request.program
         iterations = 0
         while True:
             load_addr = wrap64(machine.cur_ptr + window_offset)
-            entry = self.node.table.lookup(load_addr, window_size)
+            # Translation stage: the per-core TLB absorbs the full TCAM
+            # walk on range-local iterations (the common case).
+            entry = core.tlb.lookup(load_addr, window_size)
             if entry is None:
                 return self._miss_response(machine, request, iterations,
                                            load_addr)

@@ -24,6 +24,11 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import Program
 from repro.isa.assembler import assemble, disassemble
+from repro.isa.compiler import (
+    CompiledProgram,
+    compile_program,
+    interpreter_forced,
+)
 from repro.isa.interpreter import (
     IterationOutcome,
     IteratorMachine,
@@ -34,6 +39,7 @@ from repro.isa.analysis import ProgramAnalysis, analyze
 __all__ = [
     "ALU_OPCODES",
     "CONDITIONS",
+    "CompiledProgram",
     "ExecutionFault",
     "Instruction",
     "IsaError",
@@ -46,10 +52,12 @@ __all__ = [
     "StepResult",
     "analyze",
     "assemble",
+    "compile_program",
     "cur_ptr",
     "data",
     "disassemble",
     "imm",
+    "interpreter_forced",
     "reg",
     "sp",
 ]

@@ -17,6 +17,16 @@ Execution is iteration-structured, mirroring the hardware (section 4.2):
 ``read_fn`` may raise :class:`~repro.mem.translation.TranslationFault` --
 the accelerator catches it to detect pointers living on another memory
 node (section 5).
+
+Two execution tiers share this machine's state and interface:
+
+* the **interpreted** tier below -- the semantic oracle, selected by
+  constructing with ``compiled=False`` or by setting ``PULSE_INTERP=1``
+  in the environment;
+* the **compiled** tier (the default) -- threaded code produced once per
+  program content by :func:`~repro.isa.compiler.compile_program`, with
+  operand access specialized at compile time.  Same faults, same
+  counters, byte-identical scratch results.
 """
 
 from __future__ import annotations
@@ -25,10 +35,17 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.isa.compiler import (
+    PC_RETURN,
+    CompiledProgram,
+    compile_program,
+    interpreter_forced,
+)
 from repro.isa.instructions import (
     Bank,
     ExecutionFault,
     Instruction,
+    JUMP_OPCODES,
     Opcode,
     Operand,
     to_signed,
@@ -56,34 +73,63 @@ class StepResult:
 
 
 class IteratorMachine:
-    """Workspace state + single-iteration executor for one program."""
+    """Workspace state + single-iteration executor for one program.
 
-    def __init__(self, program: Program):
+    ``compiled=None`` (the default) selects the threaded-code tier
+    unless ``PULSE_INTERP=1`` is set; pass ``compiled=False`` to pin the
+    interpreted oracle, ``compiled=True`` to pin the fast path.
+    """
+
+    def __init__(self, program: Program,
+                 compiled: Optional[bool] = None):
         self.program = program
+        if compiled is None:
+            compiled = not interpreter_forced()
+        self._compiled: Optional[CompiledProgram] = (
+            compile_program(program) if compiled else None)
         self.cur_ptr = 0
+        # One allocation for the life of the machine: reset() zero-fills
+        # in place, so pooled workspaces reuse this buffer across
+        # requests instead of churning a fresh bytearray per traversal.
         self.scratch = bytearray(program.scratch_bytes)
+        self._zeros = bytes(program.scratch_bytes)
         self.data = b""
         self.regs = [0] * 8
         self._flag_eq = False
         self._flag_lt = False
+        self._store_fn: Optional[WriteFn] = None
+        self._stored = 0
         self.total_instructions = 0
         self.total_load_bytes = 0
         self.iterations = 0
 
+    @property
+    def compiled(self) -> bool:
+        """True when this machine runs the threaded-code tier."""
+        return self._compiled is not None
+
     def reset(self, cur_ptr: int, scratch: Optional[bytes] = None) -> None:
-        """Initialize for a traversal (or resume one mid-flight)."""
+        """Initialize for a traversal (or resume one mid-flight).
+
+        ``scratch=None`` preserves the current pad contents (resuming a
+        continuation); otherwise the pad is zero-filled in place and the
+        given prefix copied in.
+        """
         self.cur_ptr = cur_ptr
         if scratch is not None:
             if len(scratch) > self.program.scratch_bytes:
                 raise ExecutionFault(
                     f"initial scratch {len(scratch)} B exceeds the "
                     f"{self.program.scratch_bytes} B scratch pad")
-            self.scratch = bytearray(self.program.scratch_bytes)
-            self.scratch[:len(scratch)] = scratch
+            pad = self.scratch
+            pad[:] = self._zeros
+            pad[:len(scratch)] = scratch
         self.data = b""
         self.regs = [0] * 8
         self._flag_eq = False
         self._flag_lt = False
+        self._store_fn = None
+        self._stored = 0
         self.total_instructions = 0
         self.total_load_bytes = 0
         self.iterations = 0
@@ -92,6 +138,9 @@ class IteratorMachine:
     def run_iteration(self, read_fn: ReadFn,
                       write_fn: Optional[WriteFn] = None) -> StepResult:
         """Memory phase + logic phase for the current cur_ptr."""
+        frame = self._compiled
+        if frame is not None:
+            return self._run_compiled(frame, read_fn, write_fn)
         offset, size = self.program.load_window
         self.data = read_fn(wrap64(self.cur_ptr + offset), size)
         if len(self.data) != size:
@@ -127,7 +176,7 @@ class IteratorMachine:
                 self._flag_lt = a < b
                 pc += 1
                 continue
-            if op.value.startswith("JUMP_"):
+            if op in JUMP_OPCODES:
                 if self._branch_taken(op):
                     pc = instr.target
                 else:
@@ -152,6 +201,38 @@ class IteratorMachine:
             # ALU
             self._alu(instr)
             pc += 1
+
+    def _run_compiled(self, frame: CompiledProgram, read_fn: ReadFn,
+                      write_fn: Optional[WriteFn]) -> StepResult:
+        """Threaded-code iteration: same phases, same faults, no dispatch.
+
+        The memory phase mirrors the interpreted path exactly; the logic
+        phase then indexes straight into the compiled callable table --
+        each callable returns the next pc, terminals return negative
+        sentinels.
+        """
+        size = frame.window_size
+        data = read_fn(wrap64(self.cur_ptr + frame.window_offset), size)
+        self.data = data
+        if len(data) != size:
+            raise ExecutionFault(
+                f"short read: wanted {size} B, got {len(data)} B")
+        self.total_load_bytes += size
+        self._store_fn = write_fn
+        self._stored = 0
+
+        ops = frame.ops
+        pc = 1
+        executed = 1  # the LOAD itself
+        while pc >= 0:
+            executed += 1
+            pc = ops[pc](self)
+
+        self.iterations += 1
+        self.total_instructions += executed
+        outcome = (IterationOutcome.DONE if pc == PC_RETURN
+                   else IterationOutcome.CONTINUE)
+        return StepResult(outcome, executed, size, self._stored)
 
     def _branch_taken(self, op: Opcode) -> bool:
         eq, lt = self._flag_eq, self._flag_lt

@@ -63,6 +63,10 @@ class RangeTranslationTable:
         self._entries: List[RangeEntry] = []
         self.lookups = 0
         self.misses = 0
+        #: bumped on every remap (insert/permission change) so cached
+        #: views of this table (:class:`TranslationCache`) can detect
+        #: staleness and invalidate themselves
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -97,6 +101,7 @@ class RangeTranslationTable:
             )
             if contiguous:
                 existing.virt_end = entry.virt_end
+                self.version += 1
                 return
             contiguous_before = (
                 entry.virt_end == existing.virt_start
@@ -107,6 +112,7 @@ class RangeTranslationTable:
             if contiguous_before:
                 existing.virt_start = entry.virt_start
                 existing.phys_start = entry.phys_start
+                self.version += 1
                 return
         if len(self._entries) >= self.capacity:
             raise ValueError(
@@ -114,6 +120,7 @@ class RangeTranslationTable:
                 f"{self.capacity}")
         self._entries.append(entry)
         self._entries.sort(key=lambda e: e.virt_start)
+        self.version += 1
 
     def lookup(self, vaddr: int, size: int = 1) -> Optional[RangeEntry]:
         """Entry covering [vaddr, vaddr+size), or None (a miss)."""
@@ -139,5 +146,66 @@ class RangeTranslationTable:
         for entry in self._entries:
             if entry.virt_start == virt_start:
                 entry.perms = perms
+                self.version += 1
                 return
         raise TranslationFault(virt_start)
+
+
+class TranslationCache:
+    """A per-core TLB over one node's range table (entry granularity).
+
+    The memory access pipeline translates every iteration's aggregated
+    LOAD; hardware would not walk the full TCAM each time but hit a tiny
+    cache of recently used entries.  This models that stage: a handful
+    of whole :class:`RangeEntry` objects in MRU order, checked before
+    the backing :class:`RangeTranslationTable`, invalidated wholesale
+    whenever the table remaps (its ``version`` moves).  Misses --
+    including foreign/invalid pointers -- are never cached, so a re-
+    routed traversal always re-consults the authoritative table.
+
+    ``hits``/``misses`` count locally and, when metric counters are
+    supplied, feed the registry (``<node>.acc.tlb.hits`` / ``.misses``).
+    """
+
+    def __init__(self, table: RangeTranslationTable, capacity: int = 8,
+                 hit_counter=None, miss_counter=None):
+        if capacity < 1:
+            raise ValueError("translation cache needs >= 1 entry")
+        self.table = table
+        self.capacity = capacity
+        self._entries: List[RangeEntry] = []
+        self._version = table.version
+        self.hits = 0
+        self.misses = 0
+        self._hit_counter = hit_counter
+        self._miss_counter = miss_counter
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self._version = self.table.version
+
+    def lookup(self, vaddr: int, size: int = 1) -> Optional[RangeEntry]:
+        """Entry covering [vaddr, vaddr+size), or None (a table miss)."""
+        if self._version != self.table.version:
+            self.flush()
+        entries = self._entries
+        for index, entry in enumerate(entries):
+            if entry.covers(vaddr, size):
+                self.hits += 1
+                if self._hit_counter is not None:
+                    self._hit_counter.inc()
+                if index:
+                    entries.insert(0, entries.pop(index))
+                return entry
+        self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+        entry = self.table.lookup(vaddr, size)
+        if entry is not None:
+            entries.insert(0, entry)
+            if len(entries) > self.capacity:
+                entries.pop()
+        return entry

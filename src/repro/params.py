@@ -104,6 +104,11 @@ class AcceleratorParams:
     #: growing an unbounded on-chip queue (the accelerator's SRAM for
     #: parked requests is finite), pushing overload back to the clients
     admission_queue_depth: int = 64
+    #: entries in each core's translation cache (the TLB in front of the
+    #: range TCAM): pointer traversals exhibit strong range locality --
+    #: successive iterations usually stay within one allocation range --
+    #: so a handful of cached entries absorbs nearly all lookups
+    tlb_entries_per_core: int = 8
 
     def occupancy_ns(self, size_bytes: int) -> float:
         """Memory-pipeline hold time per load (sets peak throughput)."""
