@@ -80,7 +80,8 @@ class CacheSystem(BaselineSystem):
         size = cache_bytes if cache_bytes is not None else mem.cache_bytes
         self.page_bytes = mem.page_bytes
         self.cache = PageCache(max(1, size // self.page_bytes))
-        self.client = self.fabric.register("client0")
+        self.session = self.make_session("client0")
+        self.client = self.session.endpoint
         #: kernel fault-handling contexts
         self.fault_unit = Resource(self.env, capacity=fault_handlers)
         self.cpu_unit = Resource(self.env, capacity=8)
@@ -108,9 +109,11 @@ class CacheSystem(BaselineSystem):
 
     def _drain_client_inbox(self):
         # Page payloads are delivered to fault processes via events keyed
-        # in the message; the inbox itself just needs draining.
+        # in the message; the inbox itself just needs draining.  The
+        # transport session's dedup matters here: a duplicate delivery
+        # would re-trigger an already-succeeded event.
         while True:
-            message = yield self.client.inbox.get()
+            message = yield self.session.inbox.get()
             waiter = message.payload
             waiter.succeed(message)
 
@@ -197,9 +200,7 @@ class CacheSystem(BaselineSystem):
             owner = self.memory.addrspace.node_of(address)
             owner_name = f"mem{owner}" if owner is not None else "mem0"
             waiter = self.env.event()
-            self.fabric.send(Message(
-                kind=PAGE_KIND, src="client0", dst=owner_name,
-                size_bytes=128, payload=(waiter, page)))
+            self.session.send(owner_name, PAGE_KIND, (waiter, page), 128)
             yield waiter
             self.cache.fill(page)
             self._m_pages_fetched.inc()
@@ -229,14 +230,15 @@ class _PagingServer:
         self.system = system
         self.env = system.env
         self.node = node
-        self.endpoint = system.fabric.register(node.name)
+        self.session = system.make_session(node.name)
+        self.endpoint = self.session.endpoint
         self.bandwidth_gate = Resource(self.env, capacity=1)
         self.bytes_served = 0
         self.env.process(self._serve_loop())
 
     def _serve_loop(self):
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.session.inbox.get()
             self.env.process(self._handle(message))
 
     def _handle(self, message: Message):
@@ -247,6 +249,5 @@ class _PagingServer:
         yield from system._hold(self.bandwidth_gate, page_bytes / bw)
         yield self.env.timeout(system.params.cpu.dram_access_ns)
         self.bytes_served += page_bytes
-        system.fabric.send(Message(
-            kind=PAGE_KIND, src=self.node.name, dst="client0",
-            size_bytes=page_bytes + 128, payload=waiter))
+        self.session.send("client0", PAGE_KIND, waiter,
+                          page_bytes + 128)

@@ -21,6 +21,7 @@ from repro.params import DEFAULT_PARAMS, CpuParams, SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric
 from repro.sim.resources import Resource
+from repro.transport import TransportSession
 
 
 @runtime_checkable
@@ -96,6 +97,21 @@ class BaselineSystem:
     @property
     def node_count(self) -> int:
         return self.memory.node_count
+
+    def make_session(self, name: str,
+                     default_segments: int = 2) -> TransportSession:
+        """One reliable-transport stack instance for a named endpoint.
+
+        Baselines talk host-to-host (two wire segments through the
+        implicit switch), and share the same per-hop ack/retransmit
+        stack as pulse -- the transport is system-agnostic, so the
+        goodput-vs-loss comparison isolates the *architectural*
+        differences rather than who has a retry loop.
+        """
+        return TransportSession(self.env, self.fabric, name,
+                                params=self.params.transport,
+                                registry=self.registry,
+                                default_segments=default_segments)
 
     # -- TraversalBackend protocol ------------------------------------------
     def submit(self, iterator, *args) -> PendingTraversal:

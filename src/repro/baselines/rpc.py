@@ -70,7 +70,8 @@ class _RpcServer:
         self.system = system
         self.env = system.env
         self.node = node
-        self.endpoint = system.fabric.register(node.name)
+        self.session = system.make_session(node.name)
+        self.endpoint = self.session.endpoint
         self.workers = Resource(self.env, capacity=workers)
         self.worker_count = workers
         #: serialized DRAM bandwidth share (the RDT cap of section 7)
@@ -95,7 +96,7 @@ class _RpcServer:
 
     def _serve_loop(self):
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.session.inbox.get()
             self.env.process(self._handle(message))
 
     def _handle(self, message: Message):
@@ -114,9 +115,8 @@ class _RpcServer:
             self._m_busy.inc(self.env.now - started)
             self.workers.release(grant)
         yield from system._hold(self.stack, net.dpdk_stack_ns)
-        system.fabric.send(Message(
-            kind=RPC_KIND, src=self.node.name, dst=message.src,
-            size_bytes=response.wire_bytes(), payload=response))
+        self.session.send(message.src, RPC_KIND, response,
+                          response.wire_bytes())
 
     def _execute(self, request: TraversalRequest):
         machine = self.machines.acquire(request.program)
@@ -204,7 +204,8 @@ class RpcSystem(BaselineSystem):
                        self.cpu,
                        self.params.memory.bandwidth_bytes_per_ns))
         self.workers_per_node = workers
-        self.client = self.fabric.register("client0")
+        self.session = self.make_session("client0")
+        self.client = self.session.endpoint
         self.client_stack = Resource(self.env, capacity=8)
         self.servers: List[_RpcServer] = [
             _RpcServer(self, node, workers)
@@ -222,7 +223,7 @@ class RpcSystem(BaselineSystem):
     # -- client ----------------------------------------------------------------
     def _client_rx_loop(self):
         while True:
-            message = yield self.client.inbox.get()
+            message = yield self.session.inbox.get()
             self.env.process(self._deliver(message))
 
     def _deliver(self, message: Message):
@@ -285,9 +286,8 @@ class RpcSystem(BaselineSystem):
         self._waiters[request.request_id] = waiter
         yield from self._hold(self.client_stack,
                               self.params.network.dpdk_stack_ns)
-        self.fabric.send(Message(
-            kind=RPC_KIND, src="client0", dst=f"mem{owner}",
-            size_bytes=request.wire_bytes(), payload=request))
+        self.session.send(f"mem{owner}", RPC_KIND, request,
+                          request.wire_bytes())
         response = yield waiter
         return response
 

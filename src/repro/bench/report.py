@@ -60,6 +60,10 @@ SECTIONS: List[Tuple[str, str, str]] = [
     ("ext_open_loop", "Extension — open-loop batched submission (§4.1)",
      "Throughput vs Poisson offered load across systems, and doorbell "
      "batch size vs achieved throughput / batch occupancy for pulse."),
+    ("ext_goodput_loss", "Extension — goodput under per-link loss",
+     "Goodput, delivery ratio, and per-hop retransmissions vs injected "
+     "link loss for pulse and every baseline, with the reliable "
+     "transport armed."),
 ]
 
 

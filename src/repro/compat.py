@@ -1,0 +1,31 @@
+"""Deprecation plumbing: each shim warns exactly once per process.
+
+Deprecated accessors used to either warn on every call (noisy in tight
+simulation loops: one run can touch a shim millions of times) or not at
+all.  :func:`warn_once` keys each shim by name and emits its
+``DeprecationWarning`` on first use only; :func:`reset_warnings` exists
+so tests asserting the warning can re-arm it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per ``key``."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warnings(key: Optional[str] = None) -> None:
+    """Re-arm one shim's warning (or all of them with ``None``)."""
+    if key is None:
+        _WARNED.clear()
+    else:
+        _WARNED.discard(key)

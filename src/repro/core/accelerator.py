@@ -42,6 +42,7 @@ from repro.sim.engine import Environment
 from repro.sim.network import Fabric, Message
 from repro.sim.resources import Resource
 from repro.sim.trace import NullTracer
+from repro.transport import TransportSession
 
 #: message kind tag for pulse traversal traffic
 PULSE_KIND = "pulse"
@@ -169,7 +170,11 @@ class Accelerator:
         if core_count < 1:
             raise ValueError("accelerator needs at least one core")
 
-        self.endpoint = fabric.register(self.name)
+        self.session = TransportSession(env, fabric, self.name,
+                                        params=params.transport,
+                                        registry=registry,
+                                        default_segments=1)
+        self.endpoint = self.session.endpoint
         self.cores: List[AcceleratorCore] = [
             AcceleratorCore(env, i, acc.logic_pipelines_per_core)
             for i in range(core_count)
@@ -250,7 +255,7 @@ class Accelerator:
     # -- processes ----------------------------------------------------------
     def _rx_loop(self):
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.session.inbox.get()
             self.env.process(self._handle(message))
 
     def _handle(self, message: Message):
@@ -311,13 +316,10 @@ class Accelerator:
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
         self._span_netstack.record(acc.netstack_ns)
         self._m_responses.inc()
-        self.fabric.send(Message(
-            kind=PULSE_KIND,
-            src=self.name,
-            dst=self.switch_name,
-            size_bytes=response.wire_bytes(),
-            payload=response,
-        ), segments=1)
+        # A RUNNING continuation here is a hop checkpoint: the session
+        # flags it so a drop on the next leg resumes from this state.
+        self.session.send(self.switch_name, PULSE_KIND, response,
+                          response.wire_bytes(), segments=1)
 
     def _execute(self, core: AcceleratorCore, request: TraversalRequest):
         """Run iterations until done, rerouted, faulted, or out of budget."""

@@ -37,6 +37,7 @@ from repro.sim.engine import Environment, Event, Process
 from repro.sim.network import Fabric, Message
 from repro.sim.resources import Resource
 from repro.sim.trace import NullTracer
+from repro.transport import TransportSession
 
 #: give up after this many retransmissions of one request
 MAX_RETRIES = 16
@@ -156,13 +157,8 @@ class DoorbellBatcher:
         else:
             payload = TraversalBatch(batch)
             size = payload.wire_bytes()
-        client.fabric.send(Message(
-            kind=PULSE_KIND,
-            src=client.name,
-            dst=client.switch_name,
-            size_bytes=size,
-            payload=payload,
-        ), segments=1)
+        client.session.send(client.switch_name, PULSE_KIND, payload,
+                            size, segments=1)
 
 
 class PulseClient:
@@ -182,7 +178,14 @@ class PulseClient:
         self.memory = memory
         self.name = name
         self.switch_name = switch_name
-        self.endpoint = fabric.register(name)
+        #: the reliable-transport stack owns the endpoint registration;
+        #: all sends/receives go through it (per-hop ack/retransmit arms
+        #: automatically on links with injected loss)
+        self.session = TransportSession(env, fabric, name,
+                                        params=params.transport,
+                                        registry=registry,
+                                        default_segments=1)
+        self.endpoint = self.session.endpoint
         #: DPDK stack cores: every message send/receive occupies one
         self.stack_unit = Resource(env, capacity=stack_cores)
         self.tracer = tracer if tracer is not None else NullTracer()
@@ -237,7 +240,7 @@ class PulseClient:
     # -- receive path ---------------------------------------------------------
     def _rx_loop(self):
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.session.inbox.get()
             self.env.process(self._deliver(message))
 
     def _deliver(self, message: Message):
@@ -359,6 +362,14 @@ class PulseClient:
         return response
 
     def _send_and_wait(self, request: TraversalRequest):
+        """Send and await a response, retrying end-to-end on timeout.
+
+        With the reliable transport armed (lossy links), drops are
+        recovered per hop from the last checkpoint, so this end-to-end
+        timer is the *last resort* -- it fires only when a hop exhausts
+        its own retransmission budget.  On a lossless fabric (or with
+        ``TransportParams.mode="never"``) it is the only recovery.
+        """
         waiter = self.env.event()
         self._waiters[request.request_id] = waiter
         attempts = 0

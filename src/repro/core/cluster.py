@@ -16,10 +16,10 @@ DPDK stack -> switch routing -> accelerator netstack/scheduler/pipelines
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.driver import WorkloadStats, run_workload
+from repro.compat import warn_once
 from repro.core.accelerator import Accelerator
 from repro.core.client import PendingTraversal, PulseClient
 from repro.core.iterator import PulseIterator, TraversalResult
@@ -107,17 +107,17 @@ class PulseCluster:
     @property
     def engine(self) -> OffloadEngine:
         """Deprecated: use ``cluster.engines[0]``."""
-        warnings.warn(
-            "PulseCluster.engine is deprecated; use cluster.engines[0]",
-            DeprecationWarning, stacklevel=2)
+        warn_once(
+            "PulseCluster.engine",
+            "PulseCluster.engine is deprecated; use cluster.engines[0]")
         return self.engines[0]
 
     @property
     def client(self) -> PulseClient:
         """Deprecated: use ``cluster.clients[0]``."""
-        warnings.warn(
-            "PulseCluster.client is deprecated; use cluster.clients[0]",
-            DeprecationWarning, stacklevel=2)
+        warn_once(
+            "PulseCluster.client",
+            "PulseCluster.client is deprecated; use cluster.clients[0]")
         return self.clients[0]
 
     @property

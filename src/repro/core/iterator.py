@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
+from repro.compat import warn_once
 from repro.isa.program import Program
 
 
@@ -62,6 +63,10 @@ class TraversalResult:
                  faulted: bool = False, fault_reason: str = ""):
         if fault is None and (faulted or fault_reason):
             # Legacy constructor keywords: promote to the structured form.
+            warn_once(
+                "TraversalResult.legacy_ctor",
+                "TraversalResult(faulted=..., fault_reason=...) is "
+                "deprecated; pass fault=FaultInfo(...)")
             fault = FaultInfo(reason=fault_reason or "unspecified fault")
         self.value = value
         self.iterations = iterations
@@ -79,11 +84,17 @@ class TraversalResult:
     @property
     def faulted(self) -> bool:
         """Deprecated: use ``not result.ok`` / ``result.fault``."""
+        warn_once("TraversalResult.faulted",
+                  "TraversalResult.faulted is deprecated; use "
+                  "'not result.ok' or 'result.fault is not None'")
         return self.fault is not None
 
     @property
     def fault_reason(self) -> str:
         """Deprecated: use ``result.fault.reason``."""
+        warn_once("TraversalResult.fault_reason",
+                  "TraversalResult.fault_reason is deprecated; use "
+                  "result.fault.reason")
         return self.fault.reason if self.fault is not None else ""
 
     def __repr__(self) -> str:

@@ -20,6 +20,46 @@ HEADER_BYTES = 64
 #: UDP/IP/Ethernet framing around the pulse payload
 FRAME_BYTES = 64
 
+#: current reliable-transport wire format revision; receivers drop
+#: segments from a different version instead of misparsing them
+TRANSPORT_VERSION = 1
+#: on-wire size of :class:`TransportHeader` (version/flags 4B, seq 8B,
+#: ack 8B, hop-epoch 4B)
+TRANSPORT_HEADER_BYTES = 24
+
+#: flag bits in :attr:`TransportHeader.flags`
+TP_FLAG_ACK = 0x1
+#: the segment carries a hop checkpoint: a serialized in-flight
+#: traversal (cur_ptr, scratch pad, iteration count) that a
+#: retransmission resumes from, instead of restarting end-to-end
+TP_FLAG_CHECKPOINT = 0x2
+
+
+@dataclass(frozen=True)
+class TransportHeader:
+    """Versioned per-hop reliability header (see ``repro.transport``).
+
+    ``seq`` orders segments per directed (src, dst) flow; ``ack`` names
+    the sequence number being acknowledged on ACK segments; ``hop_epoch``
+    carries the traversal's inter-node hop count so the switch can
+    suppress stale lower-epoch frames of a traversal that has already
+    advanced past them.
+    """
+
+    seq: int
+    version: int = TRANSPORT_VERSION
+    flags: int = 0
+    ack: int = -1
+    hop_epoch: int = 0
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & TP_FLAG_ACK)
+
+    @property
+    def is_checkpoint(self) -> bool:
+        return bool(self.flags & TP_FLAG_CHECKPOINT)
+
 
 class RequestStatus(enum.Enum):
     """Lifecycle of a traversal request."""

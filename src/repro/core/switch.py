@@ -30,6 +30,7 @@ from repro.params import SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric, Message
 from repro.sim.trace import NullTracer
+from repro.transport import TransportSession
 
 #: default bound on the request-id -> client table (switch SRAM is finite)
 CLIENT_TABLE_CAPACITY = 1024
@@ -53,13 +54,22 @@ class PulseSwitch:
         self.name = name
         self.bounce_to_client = bounce_to_client
         self.tracer = tracer if tracer is not None else NullTracer()
-        self.endpoint = fabric.register(name)
+        self.session = TransportSession(env, fabric, name,
+                                        params=params.transport,
+                                        registry=registry,
+                                        default_segments=1)
+        self.endpoint = self.session.endpoint
         #: request id -> client endpoint name, learned from requests;
         #: the hardware encodes this in the packet's source fields.
         #: Insertion-ordered and bounded: entries whose terminal response
         #: was lost would otherwise pin SRAM forever, so the oldest entry
         #: is evicted once the table is full (FIFO ~ oldest-first).
         self._client_of: Dict[tuple, str] = {}
+        #: request id -> highest inter-node hop count seen, kept in
+        #: lockstep with ``_client_of``; a RUNNING frame from a memory
+        #: node with a *lower* hop count than already routed is a stale
+        #: leftover of an abandoned earlier attempt and is dropped
+        self._epoch_of: Dict[tuple, int] = {}
         self.client_table_capacity = client_table_capacity
         if registry is None:
             registry = fabric.registry
@@ -69,6 +79,7 @@ class PulseSwitch:
             "switch.rerouted_node_to_node")
         self._m_returned = registry.counter("switch.returned_to_client")
         self._m_dropped_stale = registry.counter("switch.dropped_stale")
+        self._m_stale_epoch = registry.counter("switch.stale_epoch_drops")
         self._m_evicted = registry.counter("switch.evicted_entries")
         self._m_batches = registry.counter("switch.batches_routed")
         self._m_batch_splits = registry.counter("switch.batch_splits")
@@ -94,6 +105,10 @@ class PulseSwitch:
         return self._m_dropped_stale.value
 
     @property
+    def stale_epoch_drops(self) -> int:
+        return self._m_stale_epoch.value
+
+    @property
     def evicted_entries(self) -> int:
         return self._m_evicted.value
 
@@ -108,7 +123,7 @@ class PulseSwitch:
 
     def _route_loop(self):
         while True:
-            message = yield self.endpoint.inbox.get()
+            message = yield self.session.inbox.get()
             if message.kind != PULSE_KIND:
                 # Non-pulse traffic never targets the switch endpoint;
                 # baselines talk host-to-host through the fabric directly.
@@ -125,15 +140,20 @@ class PulseSwitch:
         if not from_memory:
             # Request from a client: remember who to reply to (the
             # hardware carries this in the packet's source fields).
-            if (request.request_id not in self._client_of
-                    and len(self._client_of) >= self.client_table_capacity):
-                self._client_of.pop(next(iter(self._client_of)))
-                self._m_evicted.inc()
-            self._client_of[request.request_id] = message.src
+            # A (re)submission also resets the traversal's hop epoch:
+            # the client is deliberately restarting the chain.
+            self._learn_client(request, message.src)
 
         client = self._client_of.get(request.request_id, message.src)
 
         if request.status is RequestStatus.RUNNING:
+            if from_memory and self._stale_epoch(request):
+                # A hop frame the traversal has already advanced past
+                # (e.g. a leftover of an earlier end-to-end attempt):
+                # routing it would fork the traversal into a second
+                # chain racing the live one.
+                self._m_stale_epoch.inc()
+                return
             if from_memory and self.bounce_to_client:
                 # pulse-ACC: hand the continuation back to the CPU node.
                 self._m_returned.inc()
@@ -170,7 +190,34 @@ class PulseSwitch:
         self.tracer.record(self.name, "return_to_client",
                            request.request_id, dst=client)
         self._client_of.pop(request.request_id, None)
+        self._epoch_of.pop(request.request_id, None)
         self._forward(message, client)
+
+    def _learn_client(self, request: TraversalRequest, src: str) -> None:
+        """Record the issuing client; evict oldest entries when full."""
+        if (request.request_id not in self._client_of
+                and len(self._client_of) >= self.client_table_capacity):
+            evicted = next(iter(self._client_of))
+            self._client_of.pop(evicted)
+            self._epoch_of.pop(evicted, None)
+            self._m_evicted.inc()
+        self._client_of[request.request_id] = src
+        self._epoch_of[request.request_id] = request.node_hops
+
+    def _stale_epoch(self, request: TraversalRequest) -> bool:
+        """True when a from-memory RUNNING frame is behind the chain.
+
+        The recorded epoch is the highest hop count this request id has
+        been routed at; an equal hop count is *not* stale (retries and
+        NACK resubmissions legitimately repeat an epoch), only a
+        strictly lower one is.
+        """
+        recorded = self._epoch_of.get(request.request_id)
+        if recorded is not None and request.node_hops < recorded:
+            return True
+        if recorded is None or request.node_hops > recorded:
+            self._epoch_of[request.request_id] = request.node_hops
+        return False
 
     def _route_batch(self, message: Message) -> None:
         """Split one multi-request message by owning memory node.
@@ -186,12 +233,7 @@ class PulseSwitch:
         per_owner: Dict[int, list] = {}
         for request in batch:
             if not from_memory:
-                if (request.request_id not in self._client_of
-                        and len(self._client_of)
-                        >= self.client_table_capacity):
-                    self._client_of.pop(next(iter(self._client_of)))
-                    self._m_evicted.inc()
-                self._client_of[request.request_id] = message.src
+                self._learn_client(request, message.src)
             owner = self.addrspace.node_of(request.cur_ptr)
             if owner is None:
                 request.status = RequestStatus.FAULT
@@ -199,6 +241,7 @@ class PulseSwitch:
                     f"switch: unroutable pointer {request.cur_ptr:#x}")
                 client = self._client_of.pop(request.request_id,
                                              message.src)
+                self._epoch_of.pop(request.request_id, None)
                 self._m_returned.inc()
                 self._send(request, request.wire_bytes(), client)
                 continue
@@ -218,19 +261,9 @@ class PulseSwitch:
             self._send(payload, size, f"mem{owner}")
 
     def _send(self, payload, size_bytes: int, dst: str) -> None:
-        self.fabric.send(Message(
-            kind=PULSE_KIND,
-            src=self.name,
-            dst=dst,
-            size_bytes=size_bytes,
-            payload=payload,
-        ), segments=1)
+        self.session.send(dst, PULSE_KIND, payload, size_bytes,
+                          segments=1)
 
     def _forward(self, message: Message, dst: str) -> None:
-        self.fabric.send(Message(
-            kind=message.kind,
-            src=self.name,
-            dst=dst,
-            size_bytes=message.size_bytes,
-            payload=message.payload,
-        ), segments=1)
+        self.session.send(dst, message.kind, message.payload,
+                          message.size_bytes, segments=1)

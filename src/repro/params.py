@@ -172,6 +172,40 @@ class NetworkParams:
 
 
 @dataclass(frozen=True)
+class TransportParams:
+    """Reliable-transport stack knobs (see ``repro.transport``).
+
+    The stack arms per-hop ack/retransmit *per destination link*: in the
+    default ``"auto"`` mode a send is reliable exactly when the link it
+    crosses has a :class:`~repro.sim.network.LinkProfile` (loss/jitter
+    injected through the channel interface).  ``"always"`` arms every
+    send; ``"never"`` degrades to cut-through delivery, leaving the
+    client's end-to-end retransmission as the only recovery mechanism
+    (the pre-transport behaviour, kept for A/B comparison).
+    """
+
+    #: "auto" | "always" | "never" -- when per-hop reliability arms
+    mode: str = "auto"
+    #: versioned transport header prepended to armed DATA segments
+    #: (version, flags, seq, ack, hop-epoch + padding)
+    header_bytes: int = 24
+    #: wire size of a standalone ACK segment (Ethernet frame + header)
+    ack_bytes: int = 88
+    #: initial per-hop retransmission timer; much shorter than the
+    #: client's end-to-end timeout -- a hop spans one link, not a
+    #: whole multi-node traversal
+    hop_timeout_ns: float = 25.0 * US
+    #: ceiling for the per-hop capped exponential backoff
+    hop_backoff_cap_ns: float = 200.0 * US
+    #: give up on a segment after this many retransmissions (the
+    #: client's end-to-end retry then remains as the last resort)
+    max_hop_retries: int = 12
+    #: per-source window of remembered sequence numbers for duplicate
+    #: suppression at the receiver
+    dedup_window: int = 4096
+
+
+@dataclass(frozen=True)
 class MemoryParams:
     """Memory node capacity/bandwidth model."""
 
@@ -223,6 +257,7 @@ class SystemParams:
     wimpy: CpuParams = field(default_factory=lambda: CpuParams(
         clock_ghz=1.0, dram_access_ns=110.0))
     network: NetworkParams = field(default_factory=NetworkParams)
+    transport: TransportParams = field(default_factory=TransportParams)
     memory: MemoryParams = field(default_factory=MemoryParams)
     power: PowerParams = field(default_factory=PowerParams)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 from repro.params import NetworkParams
@@ -44,6 +44,34 @@ class Message:
     size_bytes: int
     payload: Any = None
     hops: int = 0
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Fault/jitter injection for one directed link (src -> dst).
+
+    This is the channel interface the reliable-transport layer arms
+    against: a link with a profile drops each message independently with
+    ``drop_probability`` and delays it by a uniform draw from
+    ``[0, jitter_ns]`` (jitter reorders messages relative to other
+    links, and relative to this link's own later sends when large).
+    The legacy fabric-wide ``NetworkParams.drop_probability`` knob is
+    separate and deliberately invisible to the transport layer -- it
+    exercises the client's end-to-end fallback path.
+    """
+
+    drop_probability: float = 0.0
+    jitter_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.jitter_ns < 0.0:
+            raise ValueError("jitter_ns must be >= 0")
+
+    @property
+    def lossy(self) -> bool:
+        return self.drop_probability > 0.0 or self.jitter_ns > 0.0
 
 
 class Endpoint:
@@ -140,13 +168,22 @@ class Fabric:
                  registry: Optional[MetricsRegistry] = None):
         self.env = env
         self.params = params
+        self.seed = seed
         self._endpoints: Dict[str, Endpoint] = {}
         self._rng = random.Random(seed)
+        #: per-link fault injection: (src, dst) -> LinkProfile, with one
+        #: deterministic RNG per link seeded from (link name, run seed)
+        #: so lossy-fabric runs reproduce regardless of test ordering
+        self._links: Dict[Tuple[str, str], LinkProfile] = {}
+        self._link_rngs: Dict[Tuple[str, str], random.Random] = {}
         if registry is None:
             registry = MetricsRegistry(clock=lambda: env.now)
         self.registry = registry
         self._dropped = registry.counter("net.dropped_messages")
         self._delivered = registry.counter("net.delivered_messages")
+        #: delivered / offered across the whole fabric -- the goodput
+        #: denominator the loss-sweep report reads
+        registry.gauge("net.delivery_ratio", fn=self._delivery_ratio)
 
     @property
     def dropped_messages(self) -> int:
@@ -155,6 +192,40 @@ class Fabric:
     @property
     def delivered_messages(self) -> int:
         return self._delivered.value
+
+    def _delivery_ratio(self) -> float:
+        offered = self._delivered.value + self._dropped.value
+        return self._delivered.value / offered if offered else 1.0
+
+    # -- per-link fault injection -------------------------------------------
+    def configure_link(self, src: str, dst: str,
+                       profile: Optional[LinkProfile]) -> None:
+        """Set (or clear, with ``None``) one directed link's profile."""
+        if profile is None:
+            self._links.pop((src, dst), None)
+        else:
+            self._links[(src, dst)] = profile
+
+    def configure_all_links(self, profile: Optional[LinkProfile]) -> None:
+        """Apply ``profile`` to every directed pair of known endpoints."""
+        names = list(self._endpoints)
+        for src in names:
+            for dst in names:
+                if src != dst:
+                    self.configure_link(src, dst, profile)
+
+    def link_profile(self, src: str, dst: str) -> Optional[LinkProfile]:
+        return self._links.get((src, dst))
+
+    def _link_rng(self, src: str, dst: str) -> random.Random:
+        key = (src, dst)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            # Seeded from (link name, run seed): deterministic per link
+            # and independent of creation/traffic order on other links.
+            rng = random.Random(f"{self.seed}:{src}->{dst}")
+            self._link_rngs[key] = rng
+        return rng
 
     def begin_window(self) -> None:
         """Start a fresh byte-accounting window on every endpoint."""
@@ -212,7 +283,17 @@ class Fabric:
         propagation = (self.params.segment_ns * segments
                        + self.params.switch_process_ns
                        + extra_latency_ns)
+        profile = self._links.get((message.src, message.dst))
+        if profile is not None and profile.jitter_ns > 0.0:
+            rng = self._link_rng(message.src, message.dst)
+            propagation += rng.uniform(0.0, profile.jitter_ns)
         yield self.env.timeout(propagation)
+
+        if profile is not None and profile.drop_probability > 0.0:
+            rng = self._link_rng(message.src, message.dst)
+            if rng.random() < profile.drop_probability:
+                self._dropped.inc()
+                return
 
         if (self.params.drop_probability > 0.0
                 and self._rng.random() < self.params.drop_probability):

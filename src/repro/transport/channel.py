@@ -1,0 +1,45 @@
+"""Transport layer 1: the channel binding a name to the fabric.
+
+A :class:`Channel` owns the component's :class:`~repro.sim.network.
+Endpoint` registration, forwards raw sends to the fabric, and surfaces
+the per-link fault-injection interface (`LinkProfile`) the reliable
+layer arms against.  It adds no reliability of its own -- that is the
+next layer up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import Environment
+from repro.sim.network import Endpoint, Fabric, LinkProfile, Message
+
+
+class Channel:
+    """Raw fabric access for one named component."""
+
+    def __init__(self, env: Environment, fabric: Fabric, name: str,
+                 registry: Optional[MetricsRegistry] = None):
+        self.env = env
+        self.fabric = fabric
+        self.name = name
+        self.endpoint: Endpoint = fabric.register(name)
+        self.registry = registry if registry is not None else fabric.registry
+
+    def send(self, message: Message, segments: int = 2,
+             extra_latency_ns: float = 0.0) -> None:
+        """Fire-and-forget delivery through the fabric."""
+        self.fabric.send(message, segments=segments,
+                         extra_latency_ns=extra_latency_ns)
+
+    def link_profile(self, dst: str) -> Optional[LinkProfile]:
+        """The loss/jitter profile of this channel's link toward ``dst``."""
+        return self.fabric.link_profile(self.name, dst)
+
+    def configure_link(self, dst: str, profile: Optional[LinkProfile],
+                       bidirectional: bool = False) -> None:
+        """Inject loss/jitter on the link toward ``dst`` (and back)."""
+        self.fabric.configure_link(self.name, dst, profile)
+        if bidirectional:
+            self.fabric.configure_link(dst, self.name, profile)

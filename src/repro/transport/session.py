@@ -1,0 +1,87 @@
+"""Transport layer 3: the traversal-aware session components talk to.
+
+A :class:`TransportSession` composes a :class:`~repro.transport.channel.
+Channel` and a :class:`~repro.transport.reliable.ReliableChannel` and is
+the single send/receive surface for a component: ``session.send(...)``
+on the way out, ``yield session.inbox.get()`` on the way in.
+
+The session understands just enough about traversal frames to make
+per-hop reliability meaningful: a :class:`~repro.core.messages.
+TraversalRequest` in flight between memory nodes carries the serialized
+(cur_ptr, scratch pad, iteration count) state -- a *checkpoint* -- so
+the session stamps its hop count into the transport header's hop-epoch
+field and flags in-progress RUNNING frames as checkpoints.  When such a
+frame is lost and retransmitted by the reliable layer, the traversal
+resumes from hop k's checkpoint instead of restarting end-to-end from
+``init()``; the client's ``PendingTraversal`` retry remains only as the
+last resort when a hop exhausts its own retransmission budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.core.messages import RequestStatus, TraversalRequest
+from repro.obs.metrics import MetricsRegistry
+from repro.params import TransportParams
+from repro.sim.engine import Environment
+from repro.sim.network import Endpoint, Fabric
+from repro.sim.resources import Store
+from repro.transport.channel import Channel
+from repro.transport.reliable import ReliableChannel
+
+
+class TransportSession:
+    """One component's full protocol stack instance."""
+
+    def __init__(self, env: Environment, fabric: Fabric, name: str,
+                 params: Optional[TransportParams] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 seed: Optional[int] = None,
+                 default_segments: int = 2):
+        if params is None:
+            params = TransportParams()
+        if seed is None:
+            seed = fabric.seed
+        self.env = env
+        self.name = name
+        self.params = params
+        self.channel = Channel(env, fabric, name, registry=registry)
+        #: timer-jitter source, deterministic per (run seed, session name)
+        self._rng = random.Random(f"{seed}:tp:{name}")
+        self.reliable = ReliableChannel(
+            env, self.channel, params, self._rng,
+            registry=registry, default_segments=default_segments)
+
+    @property
+    def endpoint(self) -> Endpoint:
+        """The underlying NIC endpoint (byte/message counters live here)."""
+        return self.channel.endpoint
+
+    @property
+    def inbox(self) -> Store:
+        """Deduplicated, demultiplexed receive queue for the component."""
+        return self.reliable.inbox
+
+    def armed_to(self, dst: str) -> bool:
+        return self.reliable.armed_to(dst)
+
+    def send(self, dst: str, kind: str, payload: Any, size_bytes: int,
+             segments: Optional[int] = None,
+             extra_latency_ns: float = 0.0) -> None:
+        """Send one message, deriving transport metadata from the payload."""
+        hop_epoch = 0
+        checkpoint = False
+        if isinstance(payload, TraversalRequest):
+            hop_epoch = payload.node_hops
+            # An in-progress RUNNING frame carries resumable traversal
+            # state; the initial client submission (no progress yet)
+            # restarts identically either way, so it is not one.
+            checkpoint = (payload.status is RequestStatus.RUNNING
+                          and (payload.node_hops > 0
+                               or payload.iterations_done > 0))
+        self.reliable.send(dst, kind, payload, size_bytes,
+                           segments=segments,
+                           extra_latency_ns=extra_latency_ns,
+                           hop_epoch=hop_epoch, checkpoint=checkpoint)

@@ -84,8 +84,8 @@ class TestSwitchBehaviour:
         finder = lst.find_iterator()
         lst.head = 0x7F  # below any node's range
         result = cluster.run_traversal(finder, 1)
-        assert result.faulted
-        assert "unroutable" in result.fault_reason
+        assert not result.ok
+        assert "unroutable" in result.fault.reason
 
     def test_stale_duplicate_responses_dropped(self):
         from repro.params import NetworkParams
@@ -116,8 +116,8 @@ class TestProtectionPath:
         for entry in node.table.entries:
             node.table.set_permissions(entry.virt_start, PERM_READ)
         result = cluster.run_traversal(table.update_iterator(), 5, 99)
-        assert result.faulted
-        assert "protection" in result.fault_reason.lower()
+        assert not result.ok
+        assert "protection" in result.fault.reason.lower()
 
     def test_store_through_accelerator_persists(self):
         from repro.structures import HashTable

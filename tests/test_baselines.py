@@ -34,7 +34,7 @@ class TestRpcSystem:
         lst = populate_list(rpc)
         result = run(rpc, lst.find_iterator(), 1000)
         assert result.value is None
-        assert not result.faulted
+        assert result.ok
 
     def test_wimpy_slower_than_regular(self):
         fast = RpcSystem(node_count=1)
@@ -72,7 +72,7 @@ class TestRpcSystem:
         finder = lst.find_iterator()
         lst.head = 0xDEAD  # point into unmapped space
         result = run(rpc, finder, 1)
-        assert result.faulted
+        assert not result.ok
 
 
 class TestPageCache:
@@ -147,7 +147,7 @@ class TestCacheSystem:
         finder = lst.find_iterator()
         lst.head = 0xDEAD
         result = run(cache, finder, 1)
-        assert result.faulted
+        assert not result.ok
 
 
 class TestCacheRpcSystem:

@@ -211,7 +211,7 @@ class TestSingleNodeTraversal:
         addrs = build_list(cluster.memory, [(1, 10), (2, 20)])
         result = cluster.run_traversal(ListFind(addrs[0]), 99)
         assert result.value is None
-        assert not result.faulted
+        assert result.ok
 
     def test_latency_grows_with_traversal_length(self):
         cluster = PulseCluster(node_count=1)
@@ -242,9 +242,9 @@ class TestSingleNodeTraversal:
         cluster = PulseCluster(node_count=1)
         finder = ListFind(head=0xDEAD)  # unmapped address
         result = cluster.run_traversal(finder, 1)
-        assert result.faulted
-        assert "unroutable" in result.fault_reason or \
-               "invalid" in result.fault_reason
+        assert not result.ok
+        assert "unroutable" in result.fault.reason or \
+               "invalid" in result.fault.reason
 
     def test_iteration_limit_continuation(self):
         params = SystemParams(

@@ -78,8 +78,8 @@ class TestCorruptPointers:
             + next_offset,
             wild.to_bytes(8, "little"))
         result = cluster.run_traversal(lst.find_iterator(), 5)
-        assert result.faulted
-        assert "invalid pointer" in result.fault_reason
+        assert not result.ok
+        assert "invalid pointer" in result.fault.reason
 
     def test_rpc_faults_cleanly_on_wild_pointer(self):
         rpc = RpcSystem(node_count=1)
@@ -89,7 +89,7 @@ class TestCorruptPointers:
         lst.head = 0xBAD_0000
         process = rpc.env.process(rpc.traverse(finder, 1))
         result = rpc.env.run(until=process)
-        assert result.faulted
+        assert not result.ok
 
     def test_cycle_terminates_via_iteration_budget(self):
         from repro.params import AcceleratorParams

@@ -11,7 +11,7 @@ from repro.workloads import build_tc, build_tsv, build_upc
 def check_upc(workload, stats):
     for index, result in enumerate(stats.results):
         assert result.value == workload.expected_value(index)
-        assert not result.faulted
+        assert result.ok
 
 
 def check_tc(workload, stats):

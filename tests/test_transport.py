@@ -1,0 +1,310 @@
+"""The reliable-transport stack: seq/ack dedup, retransmission with
+capped backoff, deterministic per-link fault injection, hop-epoch stale
+suppression at the switch, and checkpoint-resume equivalence."""
+
+import random
+
+from repro.core import PulseCluster
+from repro.core.messages import (RequestStatus, TransportHeader,
+                                 TraversalRequest)
+from repro.params import US, SystemParams, TransportParams
+from repro.sim.engine import Environment
+from repro.sim.network import Fabric, LinkProfile, Message
+from repro.structures import LinkedList
+from repro.transport import Segment, TransportSession
+from repro.transport.reliable import TP_ACK_KIND
+
+
+def make_pair(mode="auto", tp_kwargs=None, net_seed=0):
+    """Two sessions (a, b) on a fresh fabric."""
+    env = Environment()
+    params = SystemParams()
+    fabric = Fabric(env, params.network, seed=net_seed)
+    tp = TransportParams(mode=mode, **(tp_kwargs or {}))
+    a = TransportSession(env, fabric, "a", params=tp)
+    b = TransportSession(env, fabric, "b", params=tp)
+    return env, fabric, a, b
+
+
+def counter(session, name):
+    return session.channel.registry.counter(
+        f"{session.name}.tp.{name}").value
+
+
+class TestCutThrough:
+    def test_unarmed_send_reaches_inbox_without_transport_traffic(self):
+        env, fabric, a, b = make_pair(mode="auto")
+        a.send("b", "test", {"x": 1}, 128)
+        env.run()
+        message = b.inbox._items[0]
+        assert message.kind == "test"
+        assert message.payload == {"x": 1}
+        assert message.size_bytes == 128
+        # Cut-through: no segments, no acks, no header bytes.
+        assert counter(a, "tx_segments") == 0
+        assert counter(b, "acks_tx") == 0
+        assert b.endpoint.rx_bytes == 128
+
+    def test_never_mode_is_unarmed_even_on_lossy_links(self):
+        env, fabric, a, b = make_pair(mode="never")
+        fabric.configure_link("a", "b", LinkProfile(drop_probability=0.5))
+        assert not a.armed_to("b")
+
+
+class TestReliableDelivery:
+    def test_armed_send_delivers_once_and_acks(self):
+        env, fabric, a, b = make_pair(mode="always")
+        a.send("b", "test", "payload", 256)
+        env.run()
+        assert len(b.inbox._items) == 1
+        message = b.inbox._items[0]
+        assert message.payload == "payload"
+        assert message.size_bytes == 256  # header stripped on delivery
+        assert counter(a, "tx_segments") == 1
+        assert counter(a, "acks_rx") == 1
+        assert counter(b, "acks_tx") == 1
+        assert counter(a, "retransmits") == 0
+        # The armed frame carried the transport header on the wire.
+        tp = TransportParams()
+        assert b.endpoint.rx_bytes == 256 + tp.header_bytes
+        assert a.endpoint.rx_bytes == tp.ack_bytes
+
+    def test_duplicate_segments_are_suppressed_and_reacked(self):
+        env, fabric, a, b = make_pair(mode="always")
+        segment = Segment(header=TransportHeader(seq=1), kind="test",
+                          payload="dup", size_bytes=64)
+        message = Message(kind="test", src="a", dst="b",
+                          size_bytes=64, payload=segment)
+        b.reliable._handle_data(message, segment)
+        b.reliable._handle_data(message, segment)
+        assert len(b.inbox._items) == 1
+        assert counter(b, "duplicates_dropped") == 1
+        # Duplicates are re-ACKed: the first ACK may have been lost.
+        assert counter(b, "acks_tx") == 2
+
+    def test_out_of_order_segments_all_delivered(self):
+        env, fabric, a, b = make_pair(mode="always")
+        for seq in (3, 1, 2):
+            segment = Segment(header=TransportHeader(seq=seq),
+                              kind="test", payload=seq, size_bytes=64)
+            message = Message(kind="test", src="a", dst="b",
+                              size_bytes=64, payload=segment)
+            b.reliable._handle_data(message, segment)
+        assert [m.payload for m in b.inbox._items] == [3, 1, 2]
+        assert counter(b, "duplicates_dropped") == 0
+
+    def test_version_mismatch_dropped(self):
+        env, fabric, a, b = make_pair(mode="always")
+        segment = Segment(header=TransportHeader(seq=1, version=99),
+                          kind="test", payload="future", size_bytes=64)
+        message = Message(kind="test", src="a", dst="b",
+                          size_bytes=64, payload=segment)
+        b.reliable._handle_data(message, segment)
+        assert not b.inbox._items
+        assert counter(b, "version_drops") == 1
+
+    def test_retransmits_recover_a_lossy_link(self):
+        env, fabric, a, b = make_pair(mode="auto", net_seed=11)
+        fabric.configure_link("a", "b", LinkProfile(drop_probability=0.4))
+        for i in range(20):
+            a.send("b", "test", i, 128)
+        env.run()
+        assert sorted(m.payload for m in b.inbox._items) == list(range(20))
+        assert counter(a, "retransmits") > 0
+        assert counter(a, "gave_up") == 0
+
+    def test_gives_up_after_budget_with_capped_backoff(self):
+        env, fabric, a, b = make_pair(
+            mode="auto",
+            tp_kwargs=dict(hop_timeout_ns=10.0 * US,
+                           hop_backoff_cap_ns=15.0 * US,
+                           max_hop_retries=3))
+        fabric.configure_link("a", "b", LinkProfile(drop_probability=1.0))
+        a.send("b", "test", "doomed", 128)
+        env.run()
+        assert not b.inbox._items
+        assert counter(a, "retransmits") == 3
+        assert counter(a, "gave_up") == 1
+        # Timer waits: 10, then min(20, 15), then 15, then 15 us
+        # (+/-20% jitter) before the budget check gives up.
+        assert 0.8 * 55.0 * US <= env.now <= 1.2 * 55.0 * US
+
+    def test_ack_loss_causes_duplicate_not_double_delivery(self):
+        env, fabric, a, b = make_pair(mode="auto", net_seed=3)
+        # Forward link is clean-ish, the reverse (ACK) path is awful.
+        fabric.configure_link("a", "b", LinkProfile(drop_probability=0.1))
+        fabric.configure_link("b", "a", LinkProfile(drop_probability=0.8))
+        for i in range(10):
+            a.send("b", "test", i, 128)
+        env.run()
+        assert sorted(m.payload for m in b.inbox._items) == list(range(10))
+        assert counter(b, "duplicates_dropped") > 0
+
+
+class TestDeterministicLinkRngs:
+    def test_same_seed_same_stream(self):
+        results = []
+        for _ in range(2):
+            env, fabric, a, b = make_pair(mode="auto", net_seed=42)
+            fabric.configure_link(
+                "a", "b", LinkProfile(drop_probability=0.3))
+            for i in range(30):
+                a.send("b", "test", i, 128)
+            env.run()
+            results.append((counter(a, "retransmits"),
+                            fabric.dropped_messages,
+                            env.now))
+        assert results[0] == results[1]
+
+    def test_link_stream_independent_of_other_links(self):
+        # The per-link RNG is seeded from (link name, run seed) alone:
+        # traffic or configuration on other links must not perturb it.
+        env1 = Environment()
+        f1 = Fabric(env1, SystemParams().network, seed=9)
+        env2 = Environment()
+        f2 = Fabric(env2, SystemParams().network, seed=9)
+        f2._link_rng("x", "y").random()  # unrelated link drawn first
+        draws1 = [f1._link_rng("a", "b").random() for _ in range(5)]
+        draws2 = [f2._link_rng("a", "b").random() for _ in range(5)]
+        assert draws1 == draws2
+        assert f1._link_rng("a", "b") is f1._link_rng("a", "b")
+
+    def test_seed_string_matches_spec(self):
+        env = Environment()
+        fabric = Fabric(env, SystemParams().network, seed=7)
+        expected = random.Random("7:a->b").random()
+        assert fabric._link_rng("a", "b").random() == expected
+
+
+class TestJitterReordering:
+    def test_jitter_delays_but_delivers(self):
+        env, fabric, a, b = make_pair(mode="auto", net_seed=5)
+        fabric.configure_link("a", "b", LinkProfile(jitter_ns=50.0 * US))
+        for i in range(10):
+            a.send("b", "test", i, 128)
+        env.run()
+        assert sorted(m.payload for m in b.inbox._items) == list(range(10))
+        # Jitter large enough to reorder across back-to-back sends.
+        order = [m.payload for m in b.inbox._items]
+        assert order != sorted(order)
+
+
+class TestSwitchHopEpoch:
+    def _cluster(self):
+        cluster = PulseCluster(node_count=2)
+        lst = LinkedList(cluster.memory,
+                         placement=lambda ordinal: ordinal % 2)
+        lst.extend((k, k) for k in range(1, 6))
+        return cluster, lst
+
+    def _running(self, lst, request_id=(0, 1), node_hops=0):
+        return TraversalRequest(
+            request_id=request_id,
+            program=lst.find_iterator().program,
+            cur_ptr=lst.head,
+            scratch=b"\x00" * 16,
+            status=RequestStatus.RUNNING,
+            node_hops=node_hops,
+        )
+
+    def test_lower_epoch_from_memory_is_dropped(self):
+        cluster, lst = self._cluster()
+        switch = cluster.switch
+        switch._route(Message(kind="pulse", src="client0", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=0)))
+        switch._route(Message(kind="pulse", src="mem0", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=2)))
+        assert switch.stale_epoch_drops == 0
+        before = switch.rerouted_node_to_node
+        switch._route(Message(kind="pulse", src="mem1", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=1)))
+        assert switch.stale_epoch_drops == 1
+        assert switch.rerouted_node_to_node == before
+
+    def test_equal_epoch_is_not_stale(self):
+        cluster, lst = self._cluster()
+        switch = cluster.switch
+        switch._route(Message(kind="pulse", src="mem0", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=3)))
+        switch._route(Message(kind="pulse", src="mem0", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=3)))
+        assert switch.stale_epoch_drops == 0
+
+    def test_client_resubmission_resets_epoch(self):
+        cluster, lst = self._cluster()
+        switch = cluster.switch
+        switch._route(Message(kind="pulse", src="mem0", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=4)))
+        # End-to-end retry restarts the chain at epoch 0 -- it must
+        # route, not be treated as stale.
+        before = switch.routed_to_memory
+        switch._route(Message(kind="pulse", src="client0", dst="switch",
+                              size_bytes=256,
+                              payload=self._running(lst, node_hops=0)))
+        assert switch.routed_to_memory == before + 1
+        assert switch.stale_epoch_drops == 0
+
+
+class TestCheckpointResume:
+    def _run(self, drop):
+        params = SystemParams(transport=TransportParams(mode="auto"))
+        cluster = PulseCluster(node_count=2, params=params, seed=0)
+        lst = LinkedList(cluster.memory,
+                         placement=lambda ordinal: ordinal % 2)
+        lst.extend((k, k) for k in range(1, 18))
+        if drop:
+            cluster.fabric.configure_all_links(
+                LinkProfile(drop_probability=drop))
+        result = cluster.run_traversal(lst.find_iterator(), 17)
+        return cluster, result
+
+    def test_lossy_result_equals_lossless_result(self):
+        _, lossless = self._run(0.0)
+        cluster, lossy = self._run(0.12)
+        assert lossy.ok
+        assert lossy.value == lossless.value
+        assert lossy.iterations == lossless.iterations
+        assert lossy.hops == lossless.hops
+        # Recovery happened per hop, not by end-to-end restart.
+        snap = cluster.metrics_snapshot()["counters"]
+        retransmits = sum(v for k, v in snap.items()
+                          if k.endswith(".tp.retransmits"))
+        assert retransmits > 0
+        assert cluster.clients[0].retransmissions == 0
+
+    def test_checkpoint_frames_flagged_by_session(self):
+        cluster, result = self._run(0.12)
+        assert result.ok
+        snap = cluster.metrics_snapshot()["counters"]
+        frames = sum(v for k, v in snap.items()
+                     if k.endswith(".tp.checkpoint_frames"))
+        # 16 inter-node hops, each crossing two armed legs
+        # (mem -> switch -> mem); every leg carries the checkpoint.
+        assert frames >= 32
+
+
+class TestAckWireFormat:
+    def test_acks_are_standalone_kind(self):
+        env, fabric, a, b = make_pair(mode="always")
+        seen = []
+        original = a.reliable._handle_ack
+
+        def spy(src, ack):
+            seen.append((src, ack))
+            original(src, ack)
+
+        a.reliable._handle_ack = spy
+        a.send("b", "test", "x", 128)
+        env.run()
+        assert len(seen) == 1
+        src, ack = seen[0]
+        assert src == "b"
+        assert ack.header.is_ack
+        assert ack.header.ack == 1
+        assert TP_ACK_KIND == "tp.ack"
