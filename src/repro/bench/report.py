@@ -64,6 +64,10 @@ SECTIONS: List[Tuple[str, str, str]] = [
      "Goodput, delivery ratio, and per-hop retransmissions vs injected "
      "link loss for pulse and every baseline, with the reliable "
      "transport armed."),
+    ("ext_migration", "Extension — elastic placement & live migration",
+     "Zipfian YCSB p99 during a segment-migration storm (bounded, zero "
+     "faults), and throughput recovery after cluster.add_node() plus "
+     "rebalancing onto the new memory node."),
 ]
 
 

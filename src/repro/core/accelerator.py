@@ -35,7 +35,8 @@ from repro.core.workspace import MachinePool
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.node import MemoryNode
-from repro.mem.translation import ProtectionFault, TranslationCache
+from repro.mem.translation import (ProtectionFault, TranslationCache,
+                                   TranslationFault)
 from repro.obs.metrics import MetricsRegistry
 from repro.params import SystemParams
 from repro.sim.engine import Environment
@@ -229,6 +230,15 @@ class Accelerator:
         self._m_batches = registry.counter(f"{prefix}.batches")
         self._batch_size_hist = registry.histogram(f"{prefix}.batch_size")
         self._m_nacks = registry.counter(f"{prefix}.admission_nacks")
+        self._m_moved = registry.counter(f"{prefix}.moved_replies")
+        #: optional elastic-placement hooks, attached by
+        #: :class:`~repro.placement.service.PlacementService`: the
+        #: hotness tracker sampled by the memory pipeline, and the
+        #: shared placement map the miss path consults as its
+        #: migration journal (a pointer that is arithmetically *ours*
+        #: but unmapped and owned elsewhere has migrated away).
+        self.hotness = None
+        self.placement_map = None
         # Per-core translation caches and workspace frame pools; the
         # hit/miss and reuse counters are shared across cores (one pair
         # per accelerator in the registry).
@@ -357,6 +367,8 @@ class Accelerator:
             if entry is None:
                 return self._miss_response(machine, request, iterations,
                                            load_addr)
+            if self.hotness is not None:
+                self.hotness.sample(load_addr)
 
             # Memory phase: pipeline occupancy, interconnect share, then
             # the latency tail (overlapped with other workspaces).
@@ -378,10 +390,21 @@ class Accelerator:
                                  + acc.dram_latency_ns)
             self._span_memory.record(mem_phase_ns)
 
+            # Simulated time passed during the memory phase; a migration
+            # fence may have remapped the node's table.  Revalidate the
+            # held entry (zero additional time -- hardware replays the
+            # access against the updated TCAM) so the functional load
+            # never reads through a stale translation.
+            entry = core.tlb.revalidate(entry, load_addr, window_size)
+            if entry is None:
+                return self._miss_response(machine, request, iterations,
+                                           load_addr)
+
             try:
                 step = machine.run_iteration(
                     self._read_fn(entry), self._write_fn())
-            except (ExecutionFault, ProtectionFault) as exc:
+            except (ExecutionFault, ProtectionFault,
+                    TranslationFault) as exc:
                 self._m_faults.inc()
                 return request.advanced(
                     machine.cur_ptr, bytes(machine.scratch), iterations,
@@ -414,13 +437,34 @@ class Accelerator:
     def _miss_response(self, machine: IteratorMachine,
                        request: TraversalRequest, iterations: int,
                        load_addr: int) -> TraversalRequest:
-        """Translation miss: re-route if another node owns the pointer."""
+        """Translation miss: re-route, redirect (migrated), or fault.
+
+        A pointer arithmetically *foreign* is the paper's distributed
+        hop: bounce it as RUNNING and let the switch route it (§5).  A
+        pointer arithmetically *ours* but unmapped has either migrated
+        away -- the forwarding table (fresh migrations) or the shared
+        placement map (stragglers past the window) says so, and the
+        reply is MOVED so the switch retries it at the live owner -- or
+        it is genuinely invalid and faults.
+        """
         owner = self.node.addrspace.node_of(load_addr)
         if owner is not None and owner != self.node.node_id:
             self._m_rerouted.inc()
             response = request.advanced(
                 machine.cur_ptr, bytes(machine.scratch), iterations,
                 RequestStatus.RUNNING)
+            response.node_hops = request.node_hops + 1
+            return response
+        moved = self.node.forwarding.lookup(load_addr) is not None
+        if not moved and self.placement_map is not None:
+            live_owner = self.placement_map.node_of(load_addr)
+            moved = (live_owner is not None
+                     and live_owner != self.node.node_id)
+        if moved:
+            self._m_moved.inc()
+            response = request.advanced(
+                machine.cur_ptr, bytes(machine.scratch), iterations,
+                RequestStatus.MOVED)
             response.node_hops = request.node_hops + 1
             return response
         self._m_faults.inc()

@@ -29,6 +29,7 @@ from repro.mem.allocator import PlacementPolicy
 from repro.mem.node import GlobalMemory
 from repro.obs.metrics import MetricsRegistry
 from repro.params import DEFAULT_PARAMS, SystemParams
+from repro.placement.service import PlacementService
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric
 from repro.sim.trace import NullTracer, Tracer
@@ -64,6 +65,7 @@ class PulseCluster:
                     else self.params.memory.node_capacity_bytes)
         self.memory = GlobalMemory(node_count, capacity, policy,
                                    tcam_capacity)
+        self.memory.allocator.attach_metrics(self.registry)
         for node in self.memory.nodes:
             node.attach_metrics(self.registry, clock=lambda: self.env.now)
         self.tracer = (Tracer(self.env) if trace
@@ -76,17 +78,28 @@ class PulseCluster:
                                   bounce_to_client=bounce_to_client,
                                   tracer=self.tracer,
                                   registry=self.registry,
+                                  rangemap=self.memory.placement,
                                   **switch_kwargs)
+        #: accelerator construction options, reused by :meth:`add_node`
+        #: so late-joining nodes match the rest of the rack
+        self._acc_options = dict(cores=cores_per_accelerator,
+                                 shared_interconnect=shared_interconnect,
+                                 split_loads=split_loads,
+                                 scheduler_policy=scheduler_policy)
         self.accelerators: List[Accelerator] = [
             Accelerator(self.env, node, self.fabric, self.params,
-                        cores=cores_per_accelerator,
-                        shared_interconnect=shared_interconnect,
-                        split_loads=split_loads,
-                        scheduler_policy=scheduler_policy,
                         tracer=self.tracer,
-                        registry=self.registry)
+                        registry=self.registry,
+                        **self._acc_options)
             for node in self.memory.nodes
         ]
+        #: elastic placement: hotness tracking, live migration, and the
+        #: rebalancer control loop (see docs/architecture.md)
+        self.placement = PlacementService(self.env, self.memory,
+                                          self.params, self.registry,
+                                          tracer=self.tracer)
+        for acc in self.accelerators:
+            self.placement.attach_accelerator(acc)
         if client_count < 1:
             raise ValueError("need at least one CPU node")
         self.engines: List[OffloadEngine] = [
@@ -123,6 +136,52 @@ class PulseCluster:
     @property
     def node_count(self) -> int:
         return self.memory.node_count
+
+    # -- cluster membership -------------------------------------------------------
+    def add_node(self) -> int:
+        """Scale out: bring one empty memory node online.
+
+        Grows the virtual address space, boots a memory node plus its
+        accelerator, installs the node's (initially empty-of-data) range
+        rule in the shared placement map, and makes the allocator and
+        rebalancer aware of it.  Returns the new node id.  The node
+        starts cold; call :meth:`rebalance_once` (or leave the
+        rebalancer running) to shift load onto it.
+        """
+        node = self.memory.add_node()
+        node.attach_metrics(self.registry, clock=lambda: self.env.now)
+        acc = Accelerator(self.env, node, self.fabric, self.params,
+                          tracer=self.tracer, registry=self.registry,
+                          **self._acc_options)
+        self.accelerators.append(acc)
+        self.placement.on_node_added(node.node_id)
+        self.placement.attach_accelerator(acc)
+        return node.node_id
+
+    def drain_node(self, node_id: int):
+        """Scale in: migrate everything off ``node_id``.
+
+        Marks the node non-allocatable, then live-migrates every range
+        it owns to the remaining nodes; its switch rules disappear as
+        the placement map coalesces.  Returns the drain *process* --
+        ``cluster.env.run(until=cluster.drain_node(1))`` -- so traversals
+        keep running while the drain progresses.
+        """
+        return self.placement.drain_node(node_id)
+
+    def migrate(self, virt_start: int, virt_end: int, dst_node: int):
+        """Live-migrate one virtual range; returns the sim process."""
+        return self.placement.migrate(virt_start, virt_end, dst_node)
+
+    def rebalance_once(self):
+        """Run a single rebalancer round; returns the sim process."""
+        return self.placement.rebalance_once()
+
+    def start_rebalancer(self) -> None:
+        self.placement.start_rebalancer()
+
+    def stop_rebalancer(self) -> None:
+        self.placement.stop_rebalancer()
 
     # -- running work -----------------------------------------------------------
     def _pick_client(self) -> PulseClient:

@@ -26,6 +26,7 @@ from repro.core.messages import (RequestStatus, TraversalBatch,
                                  TraversalRequest)
 from repro.mem.addrspace import AddressSpace
 from repro.obs.metrics import MetricsRegistry
+from repro.placement.rangemap import PlacementMap
 from repro.params import SystemParams
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric, Message
@@ -44,12 +45,19 @@ class PulseSwitch:
                  name: str = "switch", bounce_to_client: bool = False,
                  tracer=None,
                  client_table_capacity: int = CLIENT_TABLE_CAPACITY,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 rangemap: Optional[PlacementMap] = None):
         if client_table_capacity < 1:
             raise ValueError("client table capacity must be >= 1")
         self.env = env
         self.fabric = fabric
         self.addrspace = addrspace
+        #: the live ownership rules.  Shared with GlobalMemory/the
+        #: migration engine when the cluster passes its map in; a
+        #: standalone switch builds a private one (== the arithmetic
+        #: partition, one rule per node).
+        self.rangemap = (rangemap if rangemap is not None
+                         else PlacementMap(addrspace))
         self.params = params
         self.name = name
         self.bounce_to_client = bounce_to_client
@@ -83,8 +91,11 @@ class PulseSwitch:
         self._m_evicted = registry.counter("switch.evicted_entries")
         self._m_batches = registry.counter("switch.batches_routed")
         self._m_batch_splits = registry.counter("switch.batch_splits")
+        self._m_moved = registry.counter("switch.moved_redirects")
         registry.gauge("switch.client_table_occupancy",
                        fn=lambda: len(self._client_of))
+        registry.gauge("switch.rules",
+                       fn=lambda: float(self.rangemap.rule_count))
         env.process(self._route_loop())
 
     # Compatibility properties over the registry-backed counters.
@@ -117,9 +128,18 @@ class PulseSwitch:
         return len(self._client_of)
 
     @property
+    def moved_redirects(self) -> int:
+        return self._m_moved.value
+
+    @property
     def rule_count(self) -> int:
-        """Number of switch table rules (one per memory node, section 6)."""
-        return self.addrspace.node_count
+        """Number of switch table rules.
+
+        One per memory node while placement matches the arithmetic
+        partition (section 6's invariant); migrations split rules, and
+        coalescing shrinks the count back as ownership re-compacts.
+        """
+        return self.rangemap.rule_count
 
     def _route_loop(self):
         while True:
@@ -146,6 +166,36 @@ class PulseSwitch:
 
         client = self._client_of.get(request.request_id, message.src)
 
+        if request.status is RequestStatus.MOVED:
+            # A straggler reached the *old* owner of a migrated segment
+            # (it was parked in an admission queue, or in flight when the
+            # rule changed); the node bounced it back tagged MOVED.  The
+            # traversal is alive -- re-resolve cur_ptr against the live
+            # rules and retry it at the current owner.
+            if self._stale_epoch(request):
+                self._m_stale_epoch.inc()
+                return
+            owner = self.rangemap.node_of(request.cur_ptr)
+            if owner is None or f"mem{owner}" == message.src:
+                # The live map agrees with the node that bounced it:
+                # nobody serves this pointer.  A genuine fault, not a
+                # migration race.
+                request.status = RequestStatus.FAULT
+                request.fault_reason = (
+                    f"switch: no live owner for moved pointer "
+                    f"{request.cur_ptr:#x}")
+                self._m_returned.inc()
+                self._client_of.pop(request.request_id, None)
+                self._epoch_of.pop(request.request_id, None)
+                self._forward(message, client)
+                return
+            request.status = RequestStatus.RUNNING
+            self._m_moved.inc()
+            self.tracer.record(self.name, "moved_redirect",
+                               request.request_id, dst=f"mem{owner}")
+            self._forward(message, f"mem{owner}")
+            return
+
         if request.status is RequestStatus.RUNNING:
             if from_memory and self._stale_epoch(request):
                 # A hop frame the traversal has already advanced past
@@ -159,7 +209,7 @@ class PulseSwitch:
                 self._m_returned.inc()
                 self._forward(message, client)
                 return
-            owner = self.addrspace.node_of(request.cur_ptr)
+            owner = self.rangemap.node_of(request.cur_ptr)
             if owner is None:
                 request.status = RequestStatus.FAULT
                 request.fault_reason = (
@@ -234,7 +284,7 @@ class PulseSwitch:
         for request in batch:
             if not from_memory:
                 self._learn_client(request, message.src)
-            owner = self.addrspace.node_of(request.cur_ptr)
+            owner = self.rangemap.node_of(request.cur_ptr)
             if owner is None:
                 request.status = RequestStatus.FAULT
                 request.fault_reason = (

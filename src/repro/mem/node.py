@@ -6,11 +6,16 @@ against: allocate, read, and write by *virtual* address anywhere in the
 rack.  GlobalMemory performs *functional* (zero-simulated-time) accesses;
 all timed paths (accelerator pipelines, RPC workers, paging) charge their
 own latencies and then touch the same bytes through the owning node.
+
+Ownership is resolved through the mutable
+:class:`~repro.placement.rangemap.PlacementMap` (initially identical to
+the arithmetic partition), so a segment live-migrated by
+``repro.placement`` is transparently served by its new node.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.mem.addrspace import AddressSpace
 from repro.mem.allocator import DisaggregatedAllocator, PlacementPolicy
@@ -21,6 +26,47 @@ from repro.mem.translation import (
     RangeTranslationTable,
     TranslationFault,
 )
+from repro.placement.rangemap import PlacementMap
+
+
+class ForwardingTable:
+    """Per-node redirect hints left behind by migrations.
+
+    After a segment's fence, the *old* owner keeps a (range -> new owner)
+    hint so straggler frames -- parked in its admission queue, or in
+    flight when the switch rule changed -- get a ``MOVED`` reply instead
+    of a spurious fault.  Hints are advisory (the switch re-resolves
+    against the live map, which may have moved the segment again) and
+    are garbage collected after the forwarding window: by then every
+    straggler has either drained or been retried by its client.
+    """
+
+    def __init__(self):
+        #: (virt_start, virt_end) -> (new_owner, installed_at_ns)
+        self._hints: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        self.redirects = 0
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    def install(self, virt_start: int, virt_end: int, new_owner: int,
+                now: float) -> None:
+        self._hints[(virt_start, virt_end)] = (new_owner, now)
+
+    def lookup(self, vaddr: int) -> Optional[int]:
+        for (start, end), (owner, _t) in self._hints.items():
+            if start <= vaddr < end:
+                self.redirects += 1
+                return owner
+        return None
+
+    def expire(self, now: float, window_ns: float) -> int:
+        """Drop hints older than the forwarding window; returns #dropped."""
+        stale = [key for key, (_o, t) in self._hints.items()
+                 if now - t > window_ns]
+        for key in stale:
+            del self._hints[key]
+        return len(stale)
 
 
 class MemoryNode:
@@ -33,6 +79,7 @@ class MemoryNode:
         self.addrspace = addrspace
         self.memory = PhysicalMemory(addrspace.node_capacity)
         self.table = RangeTranslationTable(capacity=tcam_capacity)
+        self.forwarding = ForwardingTable()
         self.virt_start, self.virt_end = addrspace.range_of(node_id)
 
     def attach_metrics(self, registry, clock) -> None:
@@ -82,19 +129,38 @@ class GlobalMemory:
                  policy: PlacementPolicy = PlacementPolicy.UNIFORM,
                  tcam_capacity: int = 1024):
         self.addrspace = AddressSpace(node_count, node_capacity)
+        self._tcam_capacity = tcam_capacity
         self.nodes: List[MemoryNode] = [
             MemoryNode(n, self.addrspace, tcam_capacity)
             for n in range(node_count)
         ]
         self.allocator = DisaggregatedAllocator(
             self.addrspace, [n.table for n in self.nodes], policy)
+        #: the live ownership map (initially == the arithmetic partition);
+        #: shared with the switch and mutated only by the migration engine
+        self.placement = PlacementMap(self.addrspace)
+        self.allocator.owner_map = self.placement
 
     @property
     def node_count(self) -> int:
         return len(self.nodes)
 
+    def add_node(self) -> MemoryNode:
+        """Grow the rack by one memory node (online scale-out).
+
+        Extends the address space, builds the node, and registers it
+        with the allocator and placement map.  The caller (the cluster)
+        wires up the accelerator and metrics.
+        """
+        node_id = self.addrspace.grow(1)
+        node = MemoryNode(node_id, self.addrspace, self._tcam_capacity)
+        self.nodes.append(node)
+        self.allocator.add_node(node.table)
+        self.placement.add_node(node_id)
+        return node
+
     def node_of(self, vaddr: int) -> Optional[MemoryNode]:
-        node_id = self.addrspace.node_of(vaddr)
+        node_id = self.placement.node_of(vaddr)
         if node_id is None:
             return None
         return self.nodes[node_id]

@@ -122,6 +122,14 @@ class RangeTranslationTable:
         self._entries.sort(key=lambda e: e.virt_start)
         self.version += 1
 
+    def covering(self, vaddr: int, size: int = 1) -> Optional[RangeEntry]:
+        """Like :meth:`lookup` but without touching the lookup counters
+        (for allocator/migration bookkeeping, not modeled accesses)."""
+        for entry in self._entries:
+            if entry.covers(vaddr, size):
+                return entry
+        return None
+
     def lookup(self, vaddr: int, size: int = 1) -> Optional[RangeEntry]:
         """Entry covering [vaddr, vaddr+size), or None (a miss)."""
         self.lookups += 1
@@ -140,6 +148,51 @@ class RangeTranslationTable:
         if (entry.perms & access) != access:
             raise ProtectionFault(vaddr, access, entry.perms)
         return entry.translate(vaddr)
+
+    def remove_range(self, virt_start: int, virt_end: int
+                     ) -> List[RangeEntry]:
+        """Unmap [virt_start, virt_end), splitting partial overlaps.
+
+        The removed coverage is returned as one :class:`RangeEntry` per
+        contiguous removed piece (the migration engine uses these to
+        locate the bytes being moved and to release their physical
+        backing).  Entries only partially covered are split: the
+        non-overlapping remainders stay mapped, with their physical
+        offsets preserved.  Bumps ``version`` exactly once so every
+        :class:`TranslationCache` over this table invalidates -- this is
+        the TLB-shootdown half of a migration fence.
+        """
+        if virt_end <= virt_start:
+            raise ValueError("empty or inverted range")
+        removed: List[RangeEntry] = []
+        kept: List[RangeEntry] = []
+        for entry in self._entries:
+            if entry.virt_end <= virt_start or virt_end <= entry.virt_start:
+                kept.append(entry)
+                continue
+            cut_start = max(entry.virt_start, virt_start)
+            cut_end = min(entry.virt_end, virt_end)
+            removed.append(RangeEntry(
+                virt_start=cut_start, virt_end=cut_end,
+                phys_start=entry.translate(cut_start), perms=entry.perms))
+            if entry.virt_start < cut_start:
+                kept.append(RangeEntry(
+                    virt_start=entry.virt_start, virt_end=cut_start,
+                    phys_start=entry.phys_start, perms=entry.perms))
+            if cut_end < entry.virt_end:
+                kept.append(RangeEntry(
+                    virt_start=cut_end, virt_end=entry.virt_end,
+                    phys_start=entry.translate(cut_end), perms=entry.perms))
+        if not removed:
+            return []
+        if len(kept) > self.capacity:
+            raise ValueError(
+                f"TCAM full: splitting [{virt_start:#x},{virt_end:#x}) "
+                f"needs {len(kept)} entries, capacity {self.capacity}")
+        kept.sort(key=lambda e: e.virt_start)
+        self._entries = kept
+        self.version += 1
+        return removed
 
     def set_permissions(self, virt_start: int, perms: int) -> None:
         """Change permissions of the entry starting at ``virt_start``."""
@@ -209,3 +262,26 @@ class TranslationCache:
             if len(entries) > self.capacity:
                 entries.pop()
         return entry
+
+    def revalidate(self, entry: RangeEntry, vaddr: int,
+                   size: int = 1) -> Optional[RangeEntry]:
+        """Re-check a held entry after simulated time has passed.
+
+        A migration fence may remap the table between a pipeline's
+        translation stage and its use of the translated address; the
+        hardware analogue is the in-flight access being replayed against
+        the updated TCAM.  If the table has not moved, the held entry is
+        still authoritative and is returned unchanged (zero cost); if it
+        has, the cache flushes and the address is re-resolved -- None
+        means the mapping is gone (the segment migrated away) and the
+        caller must take the miss path.
+        """
+        if self._version == self.table.version:
+            return entry
+        self.flush()
+        fresh = self.table.lookup(vaddr, size)
+        if fresh is not None:
+            self._entries.insert(0, fresh)
+            if len(self._entries) > self.capacity:
+                self._entries.pop()
+        return fresh

@@ -225,6 +225,41 @@ class MemoryParams:
 
 
 @dataclass(frozen=True)
+class PlacementParams:
+    """Elastic placement subsystem knobs (see ``repro.placement``).
+
+    The hotness tracker, migration engine, and rebalancer are sized in
+    *segments*: fixed power-of-two virtual-address chunks that are the
+    unit of heat accounting and of a single migration.
+    """
+
+    #: heat-accounting / migration granularity (power of two)
+    segment_bytes: int = 64 * KB
+    #: EWMA half-life for segment heat decay
+    hot_halflife_ns: float = 200.0 * US
+    #: the tracker samples 1-in-N accelerator loads (hardware samples
+    #: rather than counting every access; each sample is weighted by N)
+    sample_period: int = 8
+    #: background copy rate during migration phase 1 (deliberately below
+    #: the 25 B/ns node cap so live traversals keep headroom)
+    migration_bandwidth_bytes_per_ns: float = 10.0
+    #: chunk size for the phase-1 copy loop
+    copy_chunk_bytes: int = 64 * KB
+    #: how long the old owner's forwarding hints stay installed after
+    #: the ownership fence (covers in-flight/parked stragglers)
+    forward_window_ns: float = 4_000.0 * US
+    #: rebalancer control-loop period
+    rebalance_interval_ns: float = 250.0 * US
+    #: fill-fraction gap between fullest and emptiest node that
+    #: triggers capacity rebalancing
+    fill_imbalance_threshold: float = 0.10
+    #: max/mean node-heat ratio that triggers hotness rebalancing
+    hot_skew_threshold: float = 3.0
+    #: migrations launched per rebalance round (bounds churn)
+    migrations_per_round: int = 2
+
+
+@dataclass(frozen=True)
 class PowerParams:
     """Average active power per platform, in watts.
 
@@ -259,6 +294,7 @@ class SystemParams:
     network: NetworkParams = field(default_factory=NetworkParams)
     transport: TransportParams = field(default_factory=TransportParams)
     memory: MemoryParams = field(default_factory=MemoryParams)
+    placement: PlacementParams = field(default_factory=PlacementParams)
     power: PowerParams = field(default_factory=PowerParams)
 
     def with_overrides(self, **kwargs) -> "SystemParams":

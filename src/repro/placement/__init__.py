@@ -1,0 +1,20 @@
+"""Elastic placement: hotness tracking, live migration, rebalancing.
+
+The paper's rack (section 5) partitions the virtual address space
+statically; this package makes *where data lives* a live, adjustable
+decision.  See docs/architecture.md, "Placement & migration".
+
+Only the dependency-free leaves are exported here; importing
+:class:`~repro.placement.service.PlacementService` (which pulls in the
+memory layer) is done explicitly from ``repro.placement.service`` to
+keep ``repro.mem`` -> ``repro.placement.rangemap`` import-cycle free.
+"""
+
+from repro.placement.hotness import HotnessTracker
+from repro.placement.rangemap import PlacementError, PlacementMap
+
+__all__ = [
+    "HotnessTracker",
+    "PlacementError",
+    "PlacementMap",
+]

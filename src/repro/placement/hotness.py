@@ -1,0 +1,103 @@
+"""Per-segment access-heat tracking for the rebalancer.
+
+The accelerator's memory-access pipeline calls :meth:`HotnessTracker.
+sample` once per iteration; the tracker keeps an EWMA-decayed access
+count per fixed-size virtual segment.  Sampling is 1-in-``sample_period``
+(each sample is weighted by the period, so the estimate stays unbiased)
+-- hardware would do exactly this with a count-min sketch or sampled
+mirroring rather than touch SRAM on every access.
+
+Decay is applied lazily: a segment's count is scaled by
+``0.5 ** (elapsed / halflife)`` whenever it is read or written, so idle
+segments cool without a background sweep.  ``placement.hot.*`` gauges
+export the rack-wide view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+
+class HotnessTracker:
+    """EWMA-decayed per-segment access counts over virtual addresses."""
+
+    def __init__(self, segment_bytes: int, halflife_ns: float,
+                 clock: Callable[[], float], sample_period: int = 8):
+        if segment_bytes < 1 or (segment_bytes & (segment_bytes - 1)):
+            raise ValueError("segment_bytes must be a power of two")
+        if halflife_ns <= 0:
+            raise ValueError("halflife must be positive")
+        if sample_period < 1:
+            raise ValueError("sample_period must be >= 1")
+        self.segment_bytes = segment_bytes
+        self.halflife_ns = halflife_ns
+        self.sample_period = sample_period
+        self.clock = clock
+        self._countdown = sample_period
+        #: segment start -> (decayed count, last decay timestamp)
+        self._segments: Dict[int, Tuple[float, float]] = {}
+        self.samples = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def _segment_of(self, vaddr: int) -> int:
+        return vaddr & ~(self.segment_bytes - 1)
+
+    def _decayed(self, count: float, since: float, now: float) -> float:
+        if now <= since:
+            return count
+        return count * 0.5 ** ((now - since) / self.halflife_ns)
+
+    def sample(self, vaddr: int) -> None:
+        """Maybe-record one access (1-in-``sample_period`` sampling)."""
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.sample_period
+        self.record(vaddr, weight=float(self.sample_period))
+
+    def record(self, vaddr: int, weight: float = 1.0) -> None:
+        """Unconditionally add ``weight`` accesses to vaddr's segment."""
+        now = self.clock()
+        segment = self._segment_of(vaddr)
+        count, since = self._segments.get(segment, (0.0, now))
+        self._segments[segment] = (
+            self._decayed(count, since, now) + weight, now)
+        self.samples += 1
+
+    def heat_of(self, vaddr: int) -> float:
+        """Current decayed count of the segment containing ``vaddr``."""
+        segment = self._segment_of(vaddr)
+        if segment not in self._segments:
+            return 0.0
+        count, since = self._segments[segment]
+        return self._decayed(count, since, self.clock())
+
+    def hot_segments(self, top_n: int = 0) -> List[Tuple[int, float]]:
+        """(segment_start, decayed_count) pairs, hottest first."""
+        now = self.clock()
+        ranked = sorted(
+            ((segment, self._decayed(count, since, now))
+             for segment, (count, since) in self._segments.items()),
+            key=lambda item: -item[1])
+        return ranked[:top_n] if top_n else ranked
+
+    def node_heat(self, rangemap) -> Dict[int, float]:
+        """Decayed counts summed per owning node (via the placement map)."""
+        totals: Dict[int, float] = {}
+        for segment, heat in self.hot_segments():
+            owner = rangemap.node_of(segment)
+            if owner is not None:
+                totals[owner] = totals.get(owner, 0.0) + heat
+        return totals
+
+    def attach_metrics(self, registry) -> None:
+        registry.gauge("placement.hot.segments", fn=lambda: len(self))
+        registry.gauge("placement.hot.samples", fn=lambda: self.samples)
+
+        def peak() -> float:
+            ranked = self.hot_segments(top_n=1)
+            return ranked[0][1] if ranked else 0.0
+
+        registry.gauge("placement.hot.peak", fn=peak)

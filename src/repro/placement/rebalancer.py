@@ -1,0 +1,166 @@
+"""The placement control loop: watch fill + heat, schedule migrations.
+
+A background simulation process wakes every ``rebalance_interval_ns``
+and asks two questions, in priority order:
+
+1. **Fill imbalance** -- is the gap between the fullest and emptiest
+   allocatable node's fill fraction above the threshold?  If so, shed
+   the *coldest* mapped segments of the donor (moving cold data evens
+   capacity without perturbing the hot set) until roughly half the gap
+   is closed.
+2. **Hotness skew** -- is one node's decayed access heat more than
+   ``hot_skew_threshold`` times the active-node mean?  If so, move its
+   *hottest* segments to the coldest node, spreading the serving load.
+
+Both paths bound work per round (``migrations_per_round``) so the loop
+never floods the fabric with copies; convergence happens over rounds.
+This is also what makes ``cluster.add_node()`` useful: the new node
+starts empty and cold, so the very next rounds migrate data onto it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.placement.migration import MigrationError
+
+
+class Rebalancer:
+    """Periodic fill/heat watcher driving the migration engine."""
+
+    def __init__(self, env, engine, tracker, params, registry=None):
+        self.env = env
+        self.engine = engine
+        self.tracker = tracker
+        self.params = params
+        self.memory = engine.memory
+        self.rangemap = engine.rangemap
+        self.rounds = 0
+        self.migrations = 0
+        self._running = False
+        self._proc = None
+        if registry is not None:
+            registry.gauge("placement.rebalance.rounds",
+                           fn=lambda: self.rounds)
+            registry.gauge("placement.rebalance.migrations",
+                           fn=lambda: self.migrations)
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._proc = self.env.process(self._loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.env.timeout(self.params.rebalance_interval_ns)
+            if not self._running:
+                return
+            try:
+                yield from self.rebalance_once()
+            except MigrationError:
+                # A target filled up mid-plan; try again next round with
+                # fresh fill fractions.
+                continue
+
+    # -- one round ----------------------------------------------------------
+    def rebalance_once(self):
+        """Simulation process body: one observe-decide-migrate round."""
+        self.rounds += 1
+        allocator = self.memory.allocator
+        active = [n for n in range(self.memory.node_count)
+                  if allocator.is_allocatable(n)]
+        if len(active) < 2:
+            return 0
+        fills = allocator.node_fill_fractions()
+        donor = max(active, key=lambda n: fills[n])
+        receiver = min(active, key=lambda n: fills[n])
+        if (fills[donor] - fills[receiver]
+                > self.params.fill_imbalance_threshold):
+            gap_bytes = (allocator.allocated_bytes(donor)
+                         - allocator.allocated_bytes(receiver))
+            moved = yield from self._shed(donor, receiver, gap_bytes,
+                                          prefer_cold=True,
+                                          contract_gap=True)
+            return moved
+
+        heat = self.tracker.node_heat(self.rangemap)
+        if not heat:
+            return 0
+        active_heat = {n: heat.get(n, 0.0) for n in active}
+        mean = sum(active_heat.values()) / len(active)
+        if mean <= 0:
+            return 0
+        hottest = max(active, key=lambda n: active_heat[n])
+        if active_heat[hottest] / mean < self.params.hot_skew_threshold:
+            return 0
+        coldest = min(active, key=lambda n: active_heat[n])
+        moved = yield from self._shed(
+            hottest, coldest,
+            self.params.migrations_per_round * self.params.segment_bytes,
+            prefer_cold=False)
+        return moved
+
+    def _shed(self, donor: int, receiver: int, want_bytes: int,
+              prefer_cold: bool, contract_gap: bool = False):
+        """Migrate up to ``migrations_per_round`` donor segments.
+
+        With ``contract_gap``, ``want_bytes`` is the donor-receiver
+        allocation gap and every move must strictly shrink it: moving
+        ``s`` bytes turns a gap ``g`` into ``|g - 2s|``, so a piece is
+        only shipped while ``s < g``.  Without the guard a segment
+        larger than half the gap overshoots, inverts the imbalance, and
+        the next round ships the same bytes straight back -- a
+        ping-pong that never converges.
+        """
+        moved = 0
+        launched = 0
+        for start, end in self._candidates(donor, prefer_cold):
+            if moved >= want_bytes:
+                break
+            if launched >= self.params.migrations_per_round:
+                break
+            if contract_gap:
+                remaining_gap = want_bytes - 2 * moved
+                if remaining_gap <= 0:
+                    break
+                if end - start >= remaining_gap:
+                    # Too coarse for what's left of the gap; a smaller
+                    # tail piece later in the list may still fit.
+                    continue
+            launched += 1
+            moved += yield from self.engine.migrate(start, end, receiver)
+            self.migrations += 1
+        return moved
+
+    def _candidates(self, donor: int,
+                    prefer_cold: bool) -> List[Tuple[int, int]]:
+        """Donor-owned mapped segments, ordered by heat."""
+        segment = self.params.segment_bytes
+        spans: List[Tuple[float, int, int]] = []
+        owned = self.rangemap.rules_of(donor)
+        table = self.memory.nodes[donor].table
+        for entry in table.entries:
+            for rule_start, rule_end in owned:
+                start = max(entry.virt_start, rule_start)
+                end = min(entry.virt_end, rule_end)
+                if start >= end:
+                    continue
+                # Slice large entries at segment granularity so one
+                # migration stays small and bounded.
+                cursor = start
+                while cursor < end:
+                    piece_end = min(cursor + segment, end)
+                    heat = self.tracker.heat_of(cursor)
+                    spans.append((heat, cursor, piece_end))
+                    cursor = piece_end
+        spans.sort(key=lambda item: item[0] if prefer_cold else -item[0])
+        return [(start, end) for _heat, start, end in spans]

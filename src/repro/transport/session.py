@@ -77,8 +77,12 @@ class TransportSession:
             hop_epoch = payload.node_hops
             # An in-progress RUNNING frame carries resumable traversal
             # state; the initial client submission (no progress yet)
-            # restarts identically either way, so it is not one.
-            checkpoint = (payload.status is RequestStatus.RUNNING
+            # restarts identically either way, so it is not one.  MOVED
+            # redirects carry the same resumable state (the traversal
+            # continues at the segment's new owner), so they checkpoint
+            # identically.
+            checkpoint = (payload.status in (RequestStatus.RUNNING,
+                                             RequestStatus.MOVED)
                           and (payload.node_hops > 0
                                or payload.iterations_done > 0))
         self.reliable.send(dst, kind, payload, size_bytes,

@@ -1,0 +1,109 @@
+"""The deprecation shims must warn exactly once and keep working."""
+
+import warnings
+
+import pytest
+
+from repro.compat import reset_warnings, warn_once
+from repro.core import PulseCluster
+from repro.core.iterator import FaultInfo, TraversalResult
+
+
+@pytest.fixture(autouse=True)
+def rearm_warnings():
+    """Each test sees freshly armed shims, and leaves them armed."""
+    reset_warnings()
+    yield
+    reset_warnings()
+
+
+class TestWarnOnce:
+    def test_warns_on_first_use_only(self):
+        with pytest.warns(DeprecationWarning, match="old thing"):
+            warn_once("test.key", "old thing is deprecated")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            warn_once("test.key", "old thing is deprecated")  # silent
+
+    def test_keys_are_independent(self):
+        with pytest.warns(DeprecationWarning):
+            warn_once("test.a", "a is deprecated")
+        with pytest.warns(DeprecationWarning):
+            warn_once("test.b", "b is deprecated")
+
+    def test_reset_rearms_single_key(self):
+        with pytest.warns(DeprecationWarning):
+            warn_once("test.a", "a is deprecated")
+        with pytest.warns(DeprecationWarning):
+            warn_once("test.b", "b is deprecated")
+        reset_warnings("test.a")
+        with pytest.warns(DeprecationWarning):
+            warn_once("test.a", "a is deprecated")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            warn_once("test.b", "b is deprecated")  # still armed-off
+
+
+class TestClusterShims:
+    def test_engine_property_warns_once_and_returns_first_engine(self):
+        cluster = PulseCluster(node_count=1, client_count=2)
+        with pytest.warns(DeprecationWarning, match="engines\\[0\\]"):
+            engine = cluster.engine
+        assert engine is cluster.engines[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cluster.engine is cluster.engines[0]
+
+    def test_client_property_warns_once_and_returns_first_client(self):
+        cluster = PulseCluster(node_count=1, client_count=2)
+        with pytest.warns(DeprecationWarning, match="clients\\[0\\]"):
+            client = cluster.client
+        assert client is cluster.clients[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cluster.client is cluster.clients[0]
+
+
+class TestTraversalResultShims:
+    def ok_result(self):
+        return TraversalResult(value=b"v", iterations=3)
+
+    def bad_result(self):
+        return TraversalResult(value=None, iterations=1,
+                               fault=FaultInfo(reason="bad pointer",
+                                               kind="translation"))
+
+    def test_faulted_warns_once_and_mirrors_fault(self):
+        with pytest.warns(DeprecationWarning, match="faulted"):
+            assert self.bad_result().faulted is True
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert self.ok_result().faulted is False
+
+    def test_fault_reason_warns_once_and_mirrors_fault(self):
+        with pytest.warns(DeprecationWarning, match="fault_reason"):
+            assert self.bad_result().fault_reason == "bad pointer"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert self.ok_result().fault_reason == ""
+
+    def test_legacy_ctor_warns_once_and_promotes_to_fault(self):
+        with pytest.warns(DeprecationWarning, match="FaultInfo"):
+            result = TraversalResult(value=None, iterations=0,
+                                     faulted=True,
+                                     fault_reason="legacy reason")
+        assert result.fault is not None
+        assert result.fault.reason == "legacy reason"
+        assert not result.ok
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = TraversalResult(value=None, iterations=0,
+                                     faulted=True, fault_reason="again")
+        assert second.fault.reason == "again"
+
+    def test_structured_ctor_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = TraversalResult(value=b"x", iterations=1)
+            assert result.ok
+            assert result.fault is None

@@ -1,0 +1,450 @@
+"""Unit tests for the elastic placement subsystem (repro.placement)."""
+
+import pytest
+
+from repro.core import PulseCluster, RequestStatus
+from repro.core.messages import TraversalRequest
+from repro.core.switch import PulseSwitch
+from repro.isa import assemble
+from repro.mem import AddressSpace
+from repro.mem.node import ForwardingTable, GlobalMemory
+from repro.params import DEFAULT_PARAMS, PlacementParams, SystemParams
+from repro.placement import HotnessTracker, PlacementError, PlacementMap
+from repro.placement.migration import MigrationError
+from repro.sim import Environment
+from repro.sim.network import Fabric, Message
+from repro.structures import HashTable
+
+PROGRAM = assemble("LOAD 0 8\nRETURN")
+
+
+# ---------------------------------------------------------------------------
+# PlacementMap
+# ---------------------------------------------------------------------------
+class TestPlacementMap:
+    def space(self, nodes=3, capacity=1 << 20):
+        return AddressSpace(nodes, capacity)
+
+    def test_fresh_map_matches_arithmetic_partition(self):
+        space = self.space()
+        pmap = PlacementMap(space)
+        assert pmap.rule_count == 3
+        for n in range(3):
+            start, end = space.range_of(n)
+            assert pmap.node_of(start) == n
+            assert pmap.node_of(end - 1) == n
+            assert pmap.rules_of(n) == [(start, end)]
+
+    def test_node_of_outside_space_is_none(self):
+        pmap = PlacementMap(self.space())
+        assert pmap.node_of(0) is None          # NULL
+        assert pmap.node_of(self.space().range_of(2)[1]) is None
+
+    def test_move_splits_rule_and_bumps_version_once(self):
+        space = self.space()
+        pmap = PlacementMap(space)
+        start, _ = space.range_of(0)
+        version = pmap.version
+        pmap.move(start + 0x100, start + 0x200, 2)
+        assert pmap.version == version + 1
+        # node 0's rule split in three (before, moved, after) + nodes 1, 2
+        assert pmap.rule_count == 5
+        assert pmap.node_of(start + 0x100) == 2
+        assert pmap.node_of(start + 0x1FF) == 2
+        assert pmap.node_of(start + 0x200) == 0
+        assert pmap.node_of(start) == 0
+
+    def test_move_back_coalesces(self):
+        space = self.space()
+        pmap = PlacementMap(space)
+        start, _ = space.range_of(0)
+        pmap.move(start + 0x100, start + 0x200, 2)
+        pmap.move(start + 0x100, start + 0x200, 0)
+        assert pmap.rule_count == 3
+        assert pmap.rules_of(0) == [space.range_of(0)]
+
+    def test_move_whole_adjacent_rules_coalesces_across_nodes(self):
+        space = self.space()
+        pmap = PlacementMap(space)
+        start0, end0 = space.range_of(0)
+        pmap.move(start0, end0, 1)
+        assert pmap.rule_count == 2
+        assert pmap.owned_bytes(0) == 0
+        assert pmap.owned_bytes(1) == 2 * (end0 - start0)
+
+    def test_move_uncovered_range_raises(self):
+        space = self.space()
+        pmap = PlacementMap(space)
+        _, end2 = space.range_of(2)
+        with pytest.raises(PlacementError):
+            pmap.move(end2, end2 + 0x1000, 0)
+
+    def test_move_empty_range_raises(self):
+        pmap = PlacementMap(self.space())
+        start, _ = self.space().range_of(0)
+        with pytest.raises(PlacementError):
+            pmap.move(start, start, 1)
+
+    def test_add_node_after_grow(self):
+        space = self.space(2)
+        pmap = PlacementMap(space)
+        new = space.grow(1)
+        pmap.add_node(new)
+        assert pmap.rule_count == 3
+        assert pmap.node_of(space.range_of(new)[0]) == new
+
+
+# ---------------------------------------------------------------------------
+# HotnessTracker
+# ---------------------------------------------------------------------------
+class TestHotnessTracker:
+    def make(self, **kw):
+        self.now = 0.0
+        defaults = dict(segment_bytes=4096, halflife_ns=100.0,
+                        clock=lambda: self.now, sample_period=1)
+        defaults.update(kw)
+        return HotnessTracker(**defaults)
+
+    def test_segment_bytes_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            self.make(segment_bytes=1000)
+
+    def test_record_accumulates_per_segment(self):
+        tracker = self.make()
+        tracker.record(0x1000)
+        tracker.record(0x1FFF)   # same 4 KB segment
+        tracker.record(0x2000)   # next segment
+        assert tracker.heat_of(0x1000) == 2.0
+        assert tracker.heat_of(0x2000) == 1.0
+        assert len(tracker) == 2
+
+    def test_heat_decays_by_half_per_halflife(self):
+        tracker = self.make()
+        tracker.record(0x1000)
+        self.now = 100.0
+        assert tracker.heat_of(0x1000) == pytest.approx(0.5)
+        self.now = 300.0
+        assert tracker.heat_of(0x1000) == pytest.approx(0.125)
+
+    def test_sampling_is_unbiased(self):
+        tracker = self.make(sample_period=8)
+        for _ in range(80):
+            tracker.sample(0x1000)
+        # 1-in-8 sampling, each sample weighted by 8: estimate == truth.
+        assert tracker.heat_of(0x1000) == pytest.approx(80.0)
+
+    def test_hot_segments_ranked(self):
+        tracker = self.make()
+        for _ in range(3):
+            tracker.record(0x2000)
+        tracker.record(0x1000)
+        ranked = tracker.hot_segments()
+        assert ranked[0][0] == 0x2000
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_node_heat_groups_by_owner(self):
+        space = AddressSpace(2, 1 << 20)
+        pmap = PlacementMap(space)
+        tracker = self.make(segment_bytes=4096)
+        tracker.record(space.range_of(0)[0])
+        tracker.record(space.range_of(1)[0])
+        tracker.record(space.range_of(1)[0] + 4096)
+        heat = tracker.node_heat(pmap)
+        assert heat[0] == pytest.approx(1.0)
+        assert heat[1] == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# ForwardingTable
+# ---------------------------------------------------------------------------
+class TestForwardingTable:
+    def test_lookup_inside_hint(self):
+        table = ForwardingTable()
+        table.install(0x1000, 0x2000, new_owner=3, now=0.0)
+        assert table.lookup(0x1800) == 3
+        assert table.lookup(0x2000) is None
+        assert table.redirects == 1
+
+    def test_expire_drops_only_stale_hints(self):
+        table = ForwardingTable()
+        table.install(0x1000, 0x2000, new_owner=1, now=0.0)
+        table.install(0x3000, 0x4000, new_owner=2, now=900.0)
+        dropped = table.expire(now=1000.0, window_ns=500.0)
+        assert dropped == 1
+        assert table.lookup(0x1800) is None
+        assert table.lookup(0x3800) == 2
+
+
+# ---------------------------------------------------------------------------
+# Switch MOVED handling
+# ---------------------------------------------------------------------------
+def make_switch(node_count=2):
+    env = Environment()
+    fabric = Fabric(env, DEFAULT_PARAMS.network)
+    space = AddressSpace(node_count, 1 << 20)
+    switch = PulseSwitch(env, fabric, space, DEFAULT_PARAMS)
+    client = fabric.register("client0")
+    nodes = [fabric.register(f"mem{i}") for i in range(node_count)]
+    return env, fabric, space, switch, client, nodes
+
+
+def send(env, fabric, src, req):
+    fabric.send(Message("pulse", src, "switch", 128, req), segments=1)
+    env.run()
+
+
+class TestSwitchMoved:
+    def request(self, cur_ptr, status=RequestStatus.RUNNING):
+        return TraversalRequest(request_id=(0, 1), program=PROGRAM,
+                                cur_ptr=cur_ptr, scratch=b"",
+                                status=status)
+
+    def test_moved_frame_retried_at_live_owner(self):
+        env, fabric, space, switch, client, nodes = make_switch()
+        ptr = space.range_of(0)[0] + 0x100
+        req = self.request(ptr)
+        send(env, fabric, "client0", req)
+        assert len(nodes[0].inbox) == 1
+        # Segment migrated 0 -> 1; the old owner bounces the straggler.
+        switch.rangemap.move(space.range_of(0)[0],
+                             space.range_of(0)[0] + 0x1000, 1)
+        bounced = req.advanced(ptr, b"", 0, RequestStatus.MOVED)
+        send(env, fabric, "mem0", bounced)
+        assert switch.moved_redirects == 1
+        assert len(nodes[1].inbox) == 1
+        delivered = nodes[1].inbox._items[0].payload
+        assert delivered.status is RequestStatus.RUNNING
+
+    def test_moved_frame_with_no_live_owner_faults(self):
+        env, fabric, space, switch, client, nodes = make_switch()
+        ptr = space.range_of(1)[0] + 0x100
+        req = self.request(ptr)
+        send(env, fabric, "client0", req)
+        # mem1 claims the pointer moved, but the live map still says
+        # mem1 owns it: the map agrees with the bouncing node, so the
+        # pointer has no other home -- a genuine fault, not a race.
+        bounced = req.advanced(ptr, b"", 0, RequestStatus.MOVED)
+        send(env, fabric, "mem1", bounced)
+        assert switch.moved_redirects == 0
+        assert len(client.inbox) == 1
+        delivered = client.inbox._items[0].payload
+        assert delivered.status is RequestStatus.FAULT
+        assert "no live owner" in delivered.fault_reason
+
+    def test_switch_rule_count_tracks_map(self):
+        env, fabric, space, switch, client, nodes = make_switch()
+        assert switch.rule_count == 2
+        start, _ = space.range_of(0)
+        switch.rangemap.move(start, start + 0x1000, 1)
+        assert switch.rule_count == 3
+
+
+# ---------------------------------------------------------------------------
+# Migration engine (through the cluster)
+# ---------------------------------------------------------------------------
+def migration_params():
+    return SystemParams().with_overrides(
+        placement=PlacementParams(forward_window_ns=50_000.0))
+
+
+class TestMigration:
+    def build(self, node_count=2, keys=32):
+        cluster = PulseCluster(node_count=node_count,
+                               params=migration_params())
+        table = HashTable(cluster.memory, buckets=64)
+        for k in range(keys):
+            table.insert(k, bytes([k % 256]) * 8)
+        return cluster, table
+
+    def test_migrate_moves_bytes_and_preserves_values(self):
+        cluster, table = self.build()
+        start, end = cluster.memory.placement.rules_of(0)[0]
+        proc = cluster.migrate(start, end, 1)
+        cluster.env.run(until=proc)
+        assert proc.value > 0
+        assert cluster.memory.placement.owned_bytes(1) > 0
+        for k in (0, 7, 31):
+            result = cluster.run_traversal(table.find_iterator(), k)
+            assert result.ok
+            assert result.value[:1] == bytes([k])
+
+    def test_migration_takes_simulated_time(self):
+        cluster, table = self.build()
+        start, end = cluster.memory.placement.rules_of(0)[0]
+        before = cluster.env.now
+        proc = cluster.migrate(start, end, 1)
+        cluster.env.run(until=proc)
+        placement = cluster.params.placement
+        expected = proc.value / placement.migration_bandwidth_bytes_per_ns
+        assert cluster.env.now - before >= expected
+
+    def test_writes_during_copy_phase_survive(self):
+        cluster, _ = self.build()
+        vaddr = cluster.memory.alloc(4096, preferred_node=0)
+        cluster.memory.write_u64(vaddr, 0x1111)
+        proc = cluster.migrate(vaddr, vaddr + 4096, 1)
+
+        def mutate():
+            yield cluster.env.timeout(10.0)  # mid phase-1 copy
+            cluster.memory.write_u64(vaddr, 0x2222)
+
+        cluster.env.process(mutate())
+        cluster.env.run(until=proc)
+        assert cluster.memory.placement.node_of(vaddr) == 1
+        assert cluster.memory.read_u64(vaddr) == 0x2222
+
+    def test_migrate_to_self_is_a_noop(self):
+        cluster, _ = self.build()
+        start, end = cluster.memory.placement.rules_of(0)[0]
+        proc = cluster.migrate(start, end, 0)
+        cluster.env.run(until=proc)
+        assert proc.value == 0
+        assert cluster.memory.placement.rule_count == 2
+
+    def test_migrate_to_full_destination_fails_cleanly(self):
+        cluster = PulseCluster(node_count=2, node_capacity=64 * 1024,
+                               params=migration_params())
+        a = cluster.memory.alloc(40 * 1024, preferred_node=0)
+        cluster.memory.alloc(40 * 1024, preferred_node=1)
+        proc = cluster.migrate(a, a + 40 * 1024, 1)
+        with pytest.raises(MigrationError):
+            cluster.env.run(until=proc)
+        # Source must be untouched: still owned and readable.
+        assert cluster.memory.placement.node_of(a) == 0
+        cluster.memory.write_u64(a, 7)
+        assert cluster.memory.read_u64(a) == 7
+
+    def test_migration_metrics_exported(self):
+        cluster, _ = self.build()
+        start, end = cluster.memory.placement.rules_of(0)[0]
+        proc = cluster.migrate(start, end, 1)
+        cluster.env.run(until=proc)
+        snap = cluster.metrics_snapshot()
+        assert snap["counters"]["placement.migrations"] == 1
+        assert snap["counters"]["placement.bytes_migrated"] == proc.value
+
+
+# ---------------------------------------------------------------------------
+# Cluster membership: add_node / drain_node
+# ---------------------------------------------------------------------------
+class TestMembership:
+    def test_add_node_grows_rack(self):
+        cluster = PulseCluster(node_count=2, params=migration_params())
+        node_id = cluster.add_node()
+        assert node_id == 2
+        assert cluster.node_count == 3
+        assert len(cluster.accelerators) == 3
+        assert cluster.switch.rule_count == 3
+        assert cluster.memory.placement.node_of(
+            cluster.memory.addrspace.range_of(2)[0]) == 2
+
+    def test_new_node_accepts_allocations_and_traversals(self):
+        cluster = PulseCluster(node_count=1, params=migration_params())
+        cluster.add_node()
+        table = HashTable(cluster.memory, buckets=16)
+        for k in range(8):
+            table.insert(k, b"v" * 8)
+        vaddr = cluster.memory.alloc(64, preferred_node=1)
+        cluster.memory.write_u64(vaddr, 99)
+        assert cluster.memory.read_u64(vaddr) == 99
+        result = cluster.run_traversal(table.find_iterator(), 3)
+        assert result.ok
+
+    def test_drain_empties_node_while_traversals_run(self):
+        cluster = PulseCluster(node_count=2, params=migration_params())
+        table = HashTable(cluster.memory, buckets=64)
+        for k in range(64):
+            table.insert(k, bytes([k]) * 8)
+        pending = [cluster.submit(table.find_iterator(), k)
+                   for k in range(64)]
+        drain = cluster.drain_node(0)
+        cluster.env.run(until=drain)
+        assert cluster.memory.placement.owned_bytes(0) == 0
+        assert cluster.memory.placement.rules_of(0) == []
+        for p in pending:
+            if not p.done:
+                cluster.env.run(until=p._process)
+        assert all(p.result.ok for p in pending)
+        for k in (0, 31, 63):
+            assert p.result.ok
+            result = cluster.run_traversal(table.find_iterator(), k)
+            assert result.value[:1] == bytes([k])
+
+    def test_drained_node_receives_no_new_allocations(self):
+        cluster = PulseCluster(node_count=2, params=migration_params())
+        drain = cluster.drain_node(0)
+        cluster.env.run(until=drain)
+        for _ in range(8):
+            vaddr = cluster.memory.alloc(256)
+            assert cluster.memory.placement.node_of(vaddr) == 1
+
+    def test_drain_last_absorbing_node_raises(self):
+        cluster = PulseCluster(node_count=1, params=migration_params())
+        cluster.memory.alloc(256)
+        drain = cluster.drain_node(0)
+        with pytest.raises(MigrationError):
+            cluster.env.run(until=drain)
+
+
+# ---------------------------------------------------------------------------
+# Rebalancer
+# ---------------------------------------------------------------------------
+class TestRebalancer:
+    def test_fill_imbalance_triggers_migration_to_empty_node(self):
+        cluster = PulseCluster(node_count=2, node_capacity=1 << 20,
+                               params=migration_params())
+        for _ in range(8):
+            cluster.memory.alloc(64 * 1024, preferred_node=0)
+        fills = cluster.memory.allocator.node_fill_fractions()
+        assert fills[0] > fills[1]
+        proc = cluster.rebalance_once()
+        cluster.env.run(until=proc)
+        assert proc.value >= 1
+        assert cluster.memory.placement.owned_bytes(1) > 0
+        after = cluster.memory.allocator.node_fill_fractions()
+        assert after[0] < fills[0]
+
+    def test_balanced_cluster_does_nothing(self):
+        cluster = PulseCluster(node_count=2, params=migration_params())
+        for node in (0, 1):
+            cluster.memory.alloc(64 * 1024, preferred_node=node)
+        proc = cluster.rebalance_once()
+        cluster.env.run(until=proc)
+        assert proc.value == 0
+
+    def test_hot_skew_triggers_migration(self):
+        params = SystemParams().with_overrides(
+            placement=PlacementParams(fill_imbalance_threshold=1.1,
+                                      hot_skew_threshold=1.5,
+                                      segment_bytes=4096))
+        cluster = PulseCluster(node_count=2, params=params)
+        vaddr = cluster.memory.alloc(4096, preferred_node=0)
+        for _ in range(64):
+            cluster.placement.tracker.record(vaddr)
+        proc = cluster.rebalance_once()
+        cluster.env.run(until=proc)
+        assert proc.value >= 1
+        assert cluster.memory.placement.node_of(vaddr) == 1
+
+    def test_background_rebalancer_runs_and_stops(self):
+        cluster = PulseCluster(node_count=2, node_capacity=1 << 20,
+                               params=migration_params())
+        for _ in range(8):
+            cluster.memory.alloc(64 * 1024, preferred_node=0)
+        cluster.start_rebalancer()
+        cluster.env.run(until=cluster.env.now
+                        + 4 * cluster.params.placement.rebalance_interval_ns)
+        cluster.stop_rebalancer()
+        snap = cluster.metrics_snapshot()
+        assert snap["counters"]["placement.migrations"] >= 1
+
+    def test_hotness_fed_by_accelerator_loads(self):
+        cluster = PulseCluster(node_count=1, params=migration_params())
+        table = HashTable(cluster.memory, buckets=16)
+        for k in range(16):
+            table.insert(k, b"v" * 8)
+        for k in range(16):
+            cluster.run_traversal(table.find_iterator(), k)
+        assert cluster.placement.tracker.samples > 0
+        snap = cluster.metrics_snapshot()
+        assert snap["gauges"]["placement.hot.samples"] > 0
