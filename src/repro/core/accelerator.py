@@ -440,7 +440,9 @@ class Accelerator:
         """Translation miss: re-route, redirect (migrated), or fault.
 
         A pointer arithmetically *foreign* is the paper's distributed
-        hop: bounce it as RUNNING and let the switch route it (§5).  A
+        hop: bounce it as RUNNING and let the switch route it (§5) --
+        unless the live placement rules say the switch would route it
+        straight back here, in which case it faults.  A
         pointer arithmetically *ours* but unmapped has either migrated
         away -- the forwarding table (fresh migrations) or the shared
         placement map (stragglers past the window) says so, and the
@@ -449,12 +451,28 @@ class Accelerator:
         """
         owner = self.node.addrspace.node_of(load_addr)
         if owner is not None and owner != self.node.node_id:
-            self._m_rerouted.inc()
-            response = request.advanced(
+            # Arithmetically foreign -- but the switch routes RUNNING
+            # frames by the *live* rules, which after a migration can
+            # point right back here (an unmapped gap inside a span that
+            # migrated in).  Bouncing would ping-pong switch<->node
+            # forever (node_hops grows each leg, so the stale-epoch
+            # filter never drops it); only reroute when the live owner
+            # really is someone else, and fault otherwise.
+            live_owner = (self.placement_map.node_of(load_addr)
+                          if self.placement_map is not None else owner)
+            if live_owner is not None and live_owner != self.node.node_id:
+                self._m_rerouted.inc()
+                response = request.advanced(
+                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    RequestStatus.RUNNING)
+                response.node_hops = request.node_hops + 1
+                return response
+            self._m_faults.inc()
+            return request.advanced(
                 machine.cur_ptr, bytes(machine.scratch), iterations,
-                RequestStatus.RUNNING)
-            response.node_hops = request.node_hops + 1
-            return response
+                RequestStatus.FAULT,
+                f"invalid pointer {load_addr:#x}: unmapped on its live "
+                f"owner")
         moved = self.node.forwarding.lookup(load_addr) is not None
         if not moved and self.placement_map is not None:
             live_owner = self.placement_map.node_of(load_addr)

@@ -151,6 +151,13 @@ class DisaggregatedAllocator:
         """Bytes of live allocations currently backed by ``node_id``."""
         return self._arenas[node_id].live_bytes
 
+    def live_bytes_in(self, virt_start: int, virt_end: int) -> int:
+        """Live-allocation bytes overlapping [virt_start, virt_end)."""
+        return sum(
+            min(vaddr + size, virt_end) - max(vaddr, virt_start)
+            for vaddr, size in self.live_allocations.items()
+            if vaddr < virt_end and virt_start < vaddr + size)
+
     def fragmentation_bytes(self, node_id: int) -> int:
         """Bytes sitting in the node's free list (freed, reusable)."""
         return self._arenas[node_id].free_bytes
@@ -233,20 +240,17 @@ class DisaggregatedAllocator:
 
         Live-byte totals and any free blocks inside the range follow the
         segment to its new owner (the caller has already moved the bytes
-        and TCAM entries).  Returns the live bytes moved.
+        and TCAM entries).  Returns the live bytes moved.  Atomic: the
+        straddle check runs over every block before the first mutation,
+        so a raise leaves both arenas untouched.
         """
         src_arena = self._arenas[src]
         dst_arena = self._arenas[dst]
-        moved_live = sum(
-            size for vaddr, size in self.live_allocations.items()
-            if virt_start <= vaddr < virt_end)
-        src_arena.live_bytes -= moved_live
-        dst_arena.live_bytes += moved_live
         staying: List[Tuple[int, int]] = []
+        moving: List[Tuple[int, int]] = []
         for vaddr, size in src_arena.free_blocks:
             if virt_start <= vaddr and vaddr + size <= virt_end:
-                src_arena.free_bytes -= size
-                self._insert_free_block(dst, dst_arena, vaddr, size)
+                moving.append((vaddr, size))
             elif vaddr + size <= virt_start or virt_end <= vaddr:
                 staying.append((vaddr, size))
             else:
@@ -254,7 +258,15 @@ class DisaggregatedAllocator:
                     f"free block [{vaddr:#x},{vaddr + size:#x}) straddles "
                     f"migration range [{virt_start:#x},{virt_end:#x}); "
                     "snap_range() the range first")
+        moved_live = sum(
+            size for vaddr, size in self.live_allocations.items()
+            if virt_start <= vaddr < virt_end)
+        src_arena.live_bytes -= moved_live
+        dst_arena.live_bytes += moved_live
         src_arena.free_blocks = staying
+        for vaddr, size in moving:
+            src_arena.free_bytes -= size
+            self._insert_free_block(dst, dst_arena, vaddr, size)
         return moved_live
 
     def snap_range(self, node_id: int, virt_start: int,

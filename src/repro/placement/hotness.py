@@ -21,6 +21,16 @@ from typing import Callable, Dict, List, Tuple
 class HotnessTracker:
     """EWMA-decayed per-segment access counts over virtual addresses."""
 
+    #: a decayed count below this is dead -- the segment is forgotten.
+    #: Recorded weights are >= 1.0, so anything this cold has decayed
+    #: through ~10 halflives; dropping it keeps the map bounded by the
+    #: *warm* footprint instead of growing with every segment ever
+    #: touched (hot_segments() sorts the whole map on each gauge read
+    #: and rebalance round).
+    PRUNE_EPSILON = 1e-3
+    #: amortized sweep period: one full prune per this many record()s
+    PRUNE_PERIOD = 4096
+
     def __init__(self, segment_bytes: int, halflife_ns: float,
                  clock: Callable[[], float], sample_period: int = 8):
         if segment_bytes < 1 or (segment_bytes & (segment_bytes - 1)):
@@ -37,6 +47,7 @@ class HotnessTracker:
         #: segment start -> (decayed count, last decay timestamp)
         self._segments: Dict[int, Tuple[float, float]] = {}
         self.samples = 0
+        self._until_prune = self.PRUNE_PERIOD
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -65,6 +76,10 @@ class HotnessTracker:
         self._segments[segment] = (
             self._decayed(count, since, now) + weight, now)
         self.samples += 1
+        self._until_prune -= 1
+        if self._until_prune <= 0:
+            self._until_prune = self.PRUNE_PERIOD
+            self._prune(now)
 
     def heat_of(self, vaddr: int) -> float:
         """Current decayed count of the segment containing ``vaddr``."""
@@ -75,13 +90,33 @@ class HotnessTracker:
         return self._decayed(count, since, self.clock())
 
     def hot_segments(self, top_n: int = 0) -> List[Tuple[int, float]]:
-        """(segment_start, decayed_count) pairs, hottest first."""
+        """(segment_start, decayed_count) pairs, hottest first.
+
+        Segments that have decayed below :data:`PRUNE_EPSILON` are
+        dropped from the map as a side effect, so repeated calls stay
+        proportional to the warm footprint.
+        """
         now = self.clock()
-        ranked = sorted(
-            ((segment, self._decayed(count, since, now))
-             for segment, (count, since) in self._segments.items()),
-            key=lambda item: -item[1])
+        ranked: List[Tuple[int, float]] = []
+        dead: List[int] = []
+        for segment, (count, since) in self._segments.items():
+            current = self._decayed(count, since, now)
+            if current < self.PRUNE_EPSILON:
+                dead.append(segment)
+            else:
+                ranked.append((segment, current))
+        for segment in dead:
+            del self._segments[segment]
+        ranked.sort(key=lambda item: -item[1])
         return ranked[:top_n] if top_n else ranked
+
+    def _prune(self, now: float) -> None:
+        """Forget segments whose decayed count has gone cold."""
+        dead = [segment
+                for segment, (count, since) in self._segments.items()
+                if self._decayed(count, since, now) < self.PRUNE_EPSILON]
+        for segment in dead:
+            del self._segments[segment]
 
     def node_heat(self, rangemap) -> Dict[int, float]:
         """Decayed counts summed per owning node (via the placement map)."""

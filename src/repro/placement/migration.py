@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
+from repro.mem.allocator import AllocationError
 from repro.mem.translation import RangeEntry
 from repro.sim.trace import NullTracer
 
@@ -48,6 +49,10 @@ class MigrationEngine:
         self.in_flight = 0
         self.completed = 0
         self.bytes_migrated = 0
+        #: live-allocation bytes moved by the most recent migration (the
+        #: rebalancer's fill arithmetic works in live bytes, not mapped
+        #: bytes, which also count freed-but-still-mapped blocks)
+        self.last_live_bytes = 0
         self._registry = registry
         if registry is not None:
             self._m_migrations = registry.counter("placement.migrations")
@@ -76,6 +81,7 @@ class MigrationEngine:
         allocating never bump-allocates virtual addresses it no longer
         owns.
         """
+        self.last_live_bytes = 0
         allocator = self.memory.allocator
         src = self.rangemap.node_of(virt_start)
         if src is None:
@@ -132,8 +138,21 @@ class MigrationEngine:
 
             # Phase 2: the fence.  No simulated time passes from here to
             # the end of the block, so traversal processes cannot observe
-            # a half-moved segment.
-            self._fence(src, dst, virt_start, virt_end)
+            # a half-moved segment.  The pre-copy checks above are stale
+            # by now (allocations, frees, and other migrations ran during
+            # the copy), so the fence re-validates everything itself and
+            # raises -- with no state mutated -- when a check no longer
+            # holds.  Every failure surfaces as MigrationError so callers
+            # (the rebalancer loop) need to handle exactly one type.
+            try:
+                total, live = self._fence(src, dst, virt_start, virt_end)
+            except MigrationError:
+                self._count_failed()
+                raise
+            except (AllocationError, ValueError) as exc:
+                self._count_failed()
+                raise MigrationError(str(exc)) from exc
+            self.last_live_bytes = live
         finally:
             self.in_flight -= 1
 
@@ -179,20 +198,46 @@ class MigrationEngine:
 
     # -- internals ----------------------------------------------------------
     def _fence(self, src: int, dst: int, virt_start: int,
-               virt_end: int) -> None:
-        """Atomic switch-over: bytes, TCAMs, allocator, map, hint."""
+               virt_end: int) -> Tuple[int, int]:
+        """Atomic switch-over: bytes, TCAMs, allocator, map, hint.
+
+        Returns ``(mapped_bytes, live_bytes)`` moved.  Failure-atomic:
+        no simulated time passes inside the fence, so every check re-run
+        at entry holds for the whole switch-over, all validation happens
+        before the first destructive step, and the one resource acquired
+        early (the destination's physical reservation) is released on
+        any later failure -- a fence that raises leaves the cluster
+        exactly as it was.
+        """
         allocator = self.memory.allocator
         src_node = self.memory.nodes[src]
         dst_node = self.memory.nodes[dst]
-        # Reserve destination space before touching the source table, so
-        # an out-of-memory destination fails the migration cleanly
-        # instead of mid-fence.
+        # Frees during the copy can merge blocks across the snapped
+        # boundary; re-snap so nothing straddles the ownership edge
+        # (this is what lets transfer_ownership below never fail).
+        virt_start, virt_end = allocator.snap_range(src, virt_start,
+                                                    virt_end)
         pieces = self._mapped_pieces(src_node.table.entries,
                                      virt_start, virt_end)
         total = sum(end - start for start, end in pieces)
+        if total and allocator.phys_available(dst) < total:
+            raise MigrationError(
+                f"node {dst} filled up during copy: lacks {total} "
+                f"physical bytes for [{virt_start:#x},{virt_end:#x})")
+        if len(dst_node.table) + len(pieces) > dst_node.table.capacity:
+            raise MigrationError(
+                f"node {dst} TCAM cannot hold {len(pieces)} more entries")
         if total:
             dst_phys = allocator.adopt_physical(dst, total)
-        removed = src_node.table.remove_range(virt_start, virt_end)
+        try:
+            removed = src_node.table.remove_range(virt_start, virt_end)
+        except ValueError as exc:
+            # Splitting partially covered source entries would overflow
+            # the source TCAM; remove_range mutated nothing, so only the
+            # reservation needs unwinding.
+            if total:
+                allocator.release_physical(dst, dst_phys, total)
+            raise MigrationError(str(exc)) from exc
         if total:
             offset = 0
             for piece in removed:
@@ -206,10 +251,12 @@ class MigrationEngine:
                     perms=piece.perms))
                 allocator.release_physical(src, piece.phys_start, size)
                 offset += size
-        allocator.transfer_ownership(virt_start, virt_end, src, dst)
+        live = allocator.transfer_ownership(virt_start, virt_end, src,
+                                            dst)
         self.rangemap.move(virt_start, virt_end, dst)
         src_node.forwarding.install(virt_start, virt_end, dst,
                                     self.env.now)
+        return total, live
 
     def _expire_hints(self, node):
         yield self.env.timeout(self.params.forward_window_ns)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.mem.allocator import AllocationError
 from repro.placement.migration import MigrationError
 
 
@@ -66,9 +67,13 @@ class Rebalancer:
                 return
             try:
                 yield from self.rebalance_once()
-            except MigrationError:
-                # A target filled up mid-plan; try again next round with
-                # fresh fill fractions.
+            except (MigrationError, AllocationError, ValueError):
+                # A target filled up mid-plan, or a fence-time check
+                # failed.  The engine normalizes its failures to
+                # MigrationError, but a rebalancer that dies silently
+                # disables itself for the rest of the run, so be
+                # defensive and also absorb raw allocator/TCAM errors;
+                # try again next round with fresh fill fractions.
                 continue
 
     # -- one round ----------------------------------------------------------
@@ -119,8 +124,13 @@ class Rebalancer:
         only shipped while ``s < g``.  Without the guard a segment
         larger than half the gap overshoots, inverts the imbalance, and
         the next round ships the same bytes straight back -- a
-        ping-pong that never converges.
+        ping-pong that never converges.  The gap is measured in *live*
+        bytes, so the arithmetic sizes pieces and credits moves in live
+        bytes too -- migrate's mapped-byte total also counts
+        freed-but-still-mapped blocks, which do not move the fill needle
+        and would fake progress while the gap stays open.
         """
+        allocator = self.memory.allocator
         moved = 0
         launched = 0
         for start, end in self._candidates(donor, prefer_cold):
@@ -132,13 +142,20 @@ class Rebalancer:
                 remaining_gap = want_bytes - 2 * moved
                 if remaining_gap <= 0:
                     break
-                if end - start >= remaining_gap:
+                piece_live = allocator.live_bytes_in(start, end)
+                if piece_live == 0:
+                    # Purely freed space: moving it cannot close a fill
+                    # gap, only churn the fabric.
+                    continue
+                if piece_live >= remaining_gap:
                     # Too coarse for what's left of the gap; a smaller
                     # tail piece later in the list may still fit.
                     continue
             launched += 1
-            moved += yield from self.engine.migrate(start, end, receiver)
+            mapped = yield from self.engine.migrate(start, end, receiver)
             self.migrations += 1
+            moved += (self.engine.last_live_bytes if contract_gap
+                      else mapped)
         return moved
 
     def _candidates(self, donor: int,

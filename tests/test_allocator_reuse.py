@@ -135,6 +135,33 @@ class TestArenaApis:
         assert alloc.fragmentation_bytes(0) == 0
         assert alloc.fragmentation_bytes(1) == 1024
 
+    def test_transfer_ownership_straddle_raises_without_mutation(self):
+        alloc = make_allocator(nodes=2)
+        a = alloc.alloc(1024, preferred_node=0)
+        b = alloc.alloc(1024, preferred_node=0)
+        c = alloc.alloc(1024, preferred_node=0)
+        alloc.free(a)
+        alloc.free(c)
+        # The range contains a movable free block (a) and live bytes (b)
+        # before the straddling block (c): the straddle check must fire
+        # before any of them is touched.
+        with pytest.raises(AllocationError):
+            alloc.transfer_ownership(a, c + 512, 0, 1)
+        assert alloc.fragmentation_bytes(0) == 2048
+        assert alloc.fragmentation_bytes(1) == 0
+        assert alloc.allocated_bytes(0) == 1024
+        assert alloc.allocated_bytes(1) == 0
+        assert b in alloc.live_allocations
+
+    def test_live_bytes_in_counts_only_live_overlap(self):
+        alloc = make_allocator(nodes=2)
+        a = alloc.alloc(4096, preferred_node=0)
+        b = alloc.alloc(4096, preferred_node=0)
+        alloc.free(b)
+        assert alloc.live_bytes_in(a, a + 4096) == 4096
+        assert alloc.live_bytes_in(a + 1024, a + 2048) == 1024
+        assert alloc.live_bytes_in(b, b + 4096) == 0
+
     def test_snap_range_widens_to_block_boundaries(self):
         alloc = make_allocator()
         a = alloc.alloc(1024)

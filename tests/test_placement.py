@@ -6,14 +6,14 @@ from repro.core import PulseCluster, RequestStatus
 from repro.core.messages import TraversalRequest
 from repro.core.switch import PulseSwitch
 from repro.isa import assemble
-from repro.mem import AddressSpace
+from repro.mem import AddressSpace, AllocationError
 from repro.mem.node import ForwardingTable, GlobalMemory
 from repro.params import DEFAULT_PARAMS, PlacementParams, SystemParams
 from repro.placement import HotnessTracker, PlacementError, PlacementMap
 from repro.placement.migration import MigrationError
 from repro.sim import Environment
 from repro.sim.network import Fabric, Message
-from repro.structures import HashTable
+from repro.structures import HashTable, LinkedList
 
 PROGRAM = assemble("LOAD 0 8\nRETURN")
 
@@ -141,6 +141,29 @@ class TestHotnessTracker:
         ranked = tracker.hot_segments()
         assert ranked[0][0] == 0x2000
         assert ranked[0][1] > ranked[1][1]
+
+    def test_cold_segments_are_pruned(self):
+        tracker = self.make()
+        for i in range(32):
+            tracker.record(i * 4096)
+        assert len(tracker) == 32
+        # 40 halflives later everything recorded above is stone cold;
+        # one fresh record keeps a single segment warm.
+        self.now = 100.0 * 40
+        tracker.record(0x100000)
+        ranked = tracker.hot_segments()
+        assert ranked == [(0x100000, 1.0)]
+        assert len(tracker) == 1
+
+    def test_record_prunes_on_amortized_sweep(self):
+        tracker = self.make()
+        tracker.PRUNE_PERIOD = 4   # shrink the sweep period for the test
+        tracker._until_prune = 4
+        for i in range(3):
+            tracker.record(i * 4096)
+        self.now = 100.0 * 40
+        tracker.record(0x100000)   # 4th record triggers the sweep
+        assert len(tracker) == 1
 
     def test_node_heat_groups_by_owner(self):
         space = AddressSpace(2, 1 << 20)
@@ -314,6 +337,73 @@ class TestMigration:
         cluster.memory.write_u64(a, 7)
         assert cluster.memory.read_u64(a) == 7
 
+    def test_destination_filling_during_copy_fails_fence_cleanly(self):
+        # The pre-copy capacity check goes stale while phase 1 runs:
+        # another allocation can eat the destination's physical space.
+        # The fence must re-check and fail atomically -- source intact,
+        # no leaked physical reservation -- with a MigrationError (not a
+        # raw AllocationError, which would kill the rebalancer loop).
+        cluster = PulseCluster(node_count=2, node_capacity=256 * 1024,
+                               params=migration_params())
+        a = cluster.memory.alloc(128 * 1024, preferred_node=0)
+        cluster.memory.write_u64(a, 42)
+        proc = cluster.migrate(a, a + 128 * 1024, 1)
+
+        def hog():
+            yield cluster.env.timeout(10.0)  # mid phase-1 copy
+            cluster.memory.alloc(224 * 1024, preferred_node=1)
+
+        cluster.env.process(hog())
+        with pytest.raises(MigrationError):
+            cluster.env.run(until=proc)
+        assert cluster.memory.placement.node_of(a) == 0
+        assert cluster.memory.read_u64(a) == 42
+        assert (cluster.memory.allocator.phys_available(1)
+                == 256 * 1024 - 224 * 1024)
+        snap = cluster.metrics_snapshot()
+        assert snap["counters"]["placement.migrations_failed"] == 1
+
+    def test_free_merging_across_boundary_during_copy_survives_fence(self):
+        # Frees during the copy can merge blocks across the snapped
+        # boundary; the fence re-snaps so transfer_ownership never hits
+        # a straddling block mid-switch-over.
+        cluster = PulseCluster(node_count=2, params=migration_params())
+        a = cluster.memory.alloc(4096, preferred_node=0)
+        b = cluster.memory.alloc(4096, preferred_node=0)
+        proc = cluster.migrate(a, a + 4096, 1)
+
+        def churn():
+            yield cluster.env.timeout(10.0)  # mid phase-1 copy
+            cluster.memory.free(a)
+            cluster.memory.free(b)  # merges into [a, b+4096)
+
+        cluster.env.process(churn())
+        cluster.env.run(until=proc)
+        assert cluster.memory.placement.node_of(a) == 1
+        # The whole merged block followed the migration.
+        assert cluster.memory.allocator.fragmentation_bytes(1) == 8192
+        assert cluster.memory.allocator.fragmentation_bytes(0) == 0
+
+    def test_wild_pointer_into_drained_range_faults_not_livelocks(self):
+        # After a drain, node 1 live-owns node 0's whole arithmetic
+        # range, with unmapped gaps.  A wild pointer into such a gap is
+        # arithmetically foreign to node 1; bouncing it RUNNING would
+        # make the switch (which routes by the live map) send it right
+        # back -- forever.  It must fault instead.
+        cluster = PulseCluster(node_count=2, params=migration_params())
+        lst = LinkedList(cluster.memory, placement=lambda i: 0)
+        addrs = [lst.append(k, k) for k in range(1, 6)]
+        wild = cluster.memory.addrspace.range_of(0)[1] - 8
+        next_offset = lst.layout.offset("next")
+        cluster.memory.write_u64(addrs[2] + next_offset, wild)
+        drain = cluster.drain_node(0)
+        cluster.env.run(until=drain)
+        pending = cluster.submit(lst.find_iterator(), 5)
+        cluster.env.run(until=cluster.env.now + 10_000_000.0)
+        assert pending.done
+        assert not pending.result.ok
+        assert "invalid pointer" in pending.result.fault.reason
+
     def test_migration_metrics_exported(self):
         cluster, _ = self.build()
         start, end = cluster.memory.placement.rules_of(0)[0]
@@ -425,6 +515,47 @@ class TestRebalancer:
         cluster.env.run(until=proc)
         assert proc.value >= 1
         assert cluster.memory.placement.node_of(vaddr) == 1
+
+    def test_fill_rebalance_moves_live_bytes_not_freed_space(self):
+        cluster = PulseCluster(node_count=2, node_capacity=1 << 20,
+                               params=migration_params())
+        # Node 0 carries a large freed-but-still-mapped region (cold,
+        # zero live bytes) ahead of its live data.  Counting it toward
+        # gap contraction would fake progress while the fill gap stays
+        # open; the round must move live bytes instead.
+        dead = [cluster.memory.alloc(64 * 1024, preferred_node=0)
+                for _ in range(4)]
+        for vaddr in dead:
+            cluster.memory.free(vaddr)
+        for _ in range(4):
+            cluster.memory.alloc(64 * 1024, preferred_node=0)
+        proc = cluster.rebalance_once()
+        cluster.env.run(until=proc)
+        assert proc.value > 0
+        assert cluster.memory.allocator.allocated_bytes(1) > 0
+
+    def test_rebalancer_loop_survives_allocator_errors(self):
+        # Fence-time failures can surface as raw AllocationError; a
+        # rebalancer that lets one escape dies silently for the rest of
+        # the simulation.
+        cluster = PulseCluster(node_count=2, node_capacity=1 << 20,
+                               params=migration_params())
+        for _ in range(8):
+            cluster.memory.alloc(64 * 1024, preferred_node=0)
+        calls = {"n": 0}
+
+        def boom(*args, **kwargs):
+            calls["n"] += 1
+            raise AllocationError("synthetic fence failure")
+            yield  # pragma: no cover -- keeps this a generator
+
+        cluster.placement.engine.migrate = boom
+        cluster.start_rebalancer()
+        interval = cluster.params.placement.rebalance_interval_ns
+        cluster.env.run(until=cluster.env.now + 4 * interval)
+        cluster.stop_rebalancer()
+        assert cluster.placement.rebalancer.rounds >= 2
+        assert calls["n"] >= 2
 
     def test_background_rebalancer_runs_and_stops(self):
         cluster = PulseCluster(node_count=2, node_capacity=1 << 20,
