@@ -62,6 +62,10 @@ class TraversalBackend(Protocol):
         """Zero memory-access counters and registry metrics."""
         ...
 
+    def load_index(self, structure) -> int:
+        """Bulk-prime any client-resident split index (may be a no-op)."""
+        ...
+
 
 class BaselineSystem:
     """Environment + fabric + rack memory, without pulse hardware.
@@ -144,6 +148,10 @@ class BaselineSystem:
     def reset_counters(self) -> None:
         self.memory.reset_counters()
         self.registry.reset()
+
+    def load_index(self, structure) -> int:
+        """Baselines have no client-resident split index: a no-op."""
+        return 0
 
     def _record_result(self, result) -> None:
         """Account one finished traversal in the registry."""

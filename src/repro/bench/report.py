@@ -68,6 +68,11 @@ SECTIONS: List[Tuple[str, str, str]] = [
      "Zipfian YCSB p99 during a segment-migration storm (bounded, zero "
      "faults), and throughput recovery after cluster.add_node() plus "
      "rebalancing onto the new memory node."),
+    ("ext_split_index", "Extension — client-resident split index",
+     "Point-lookup p50 vs directory hit rate on a long-chain hash "
+     "table: a hit is one direct READ at the owning node (one RTT, no "
+     "traversal); misses and stale hints fall back to the offloaded "
+     "traversal engine."),
 ]
 
 

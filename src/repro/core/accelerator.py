@@ -28,8 +28,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.messages import (RequestStatus, TraversalBatch,
-                                 TraversalRequest)
+from repro.core.messages import (DIRECT_READ_KIND, DirectReadReply,
+                                 DirectReadRequest, RequestStatus,
+                                 TraversalBatch, TraversalRequest)
 from repro.core.scheduling import FairWorkspacePool, FifoWorkspacePool
 from repro.core.workspace import MachinePool
 from repro.isa.instructions import ExecutionFault, wrap64
@@ -231,6 +232,9 @@ class Accelerator:
         self._batch_size_hist = registry.histogram(f"{prefix}.batch_size")
         self._m_nacks = registry.counter(f"{prefix}.admission_nacks")
         self._m_moved = registry.counter(f"{prefix}.moved_replies")
+        self._m_direct_reads = registry.counter(f"{prefix}.direct_reads")
+        self._m_direct_nacks = registry.counter(
+            f"{prefix}.direct_read_nacks")
         #: optional elastic-placement hooks, attached by
         #: :class:`~repro.placement.service.PlacementService`: the
         #: hotness tracker sampled by the memory pipeline, and the
@@ -239,6 +243,9 @@ class Accelerator:
         #: but unmapped and owned elsewhere has migrated away).
         self.hotness = None
         self.placement_map = None
+        #: round-robin core cursor for split-index direct reads (they
+        #: use a core's memory pipeline but never need a workspace)
+        self._dr_core = 0
         # Per-core translation caches and workspace frame pools; the
         # hit/miss and reuse counters are shared across cores (one pair
         # per accelerator in the registry).
@@ -278,6 +285,10 @@ class Accelerator:
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
         self._span_netstack.record(acc.netstack_ns)
 
+        if isinstance(payload, DirectReadRequest):
+            yield from self._serve_direct_read(payload)
+            return
+
         if isinstance(payload, TraversalBatch):
             requests = list(payload.requests)
             self._m_batches.inc()
@@ -303,6 +314,67 @@ class Accelerator:
                 self.env.process(self._respond(nack))
                 continue
             self.env.process(self._serve(request))
+
+    def _serve_direct_read(self, request: DirectReadRequest):
+        """The split-index fast path: validate, one DRAM burst, reply.
+
+        Validation happens *before* DRAM is touched: the address must
+        translate locally **and** the live placement map must still name
+        this node as the owner.  Either failing means the client's
+        directory entry is stale (segment migrated, or never ours) --
+        NACK so the client falls back to the offloaded traversal; never
+        return bytes a migration may have invalidated.
+        """
+        acc = self.params.accelerator
+        self._m_direct_reads.inc()
+        yield from self._hold(self.scheduler_unit,
+                              acc.scheduler_dispatch_ns)
+        self._span_scheduler.record(acc.scheduler_dispatch_ns)
+        self.tracer.record(self.name, "direct_read", request.request_id,
+                           vaddr=hex(request.vaddr))
+
+        live_owner = (self.placement_map.node_of(request.vaddr)
+                      if self.placement_map is not None
+                      else self.node.addrspace.node_of(request.vaddr))
+        ok, data, reason = False, b"", ""
+        if live_owner != self.node.node_id:
+            reason = f"segment {request.vaddr:#x} migrated away"
+        else:
+            core = self.cores[self._dr_core % len(self.cores)]
+            self._dr_core += 1
+            occupancy = acc.occupancy_ns(request.size)
+            yield from self._hold(core.memory_pipeline, occupancy)
+            interconnect_ns = 0.0
+            if self.interconnect is not None:
+                interconnect_ns = request.size / self.node_bandwidth
+                yield from self._hold(self.interconnect, interconnect_ns)
+            yield self.env.timeout(acc.dram_latency_ns)
+            self._span_memory.record(occupancy + interconnect_ns
+                                     + acc.dram_latency_ns)
+            try:
+                # Re-translate after the timed phase: a migration fence
+                # may have remapped the range while we waited.
+                data = self.node.read_virt(request.vaddr, request.size)
+                ok = True
+                self._m_bytes.inc(request.size)
+                if self.hotness is not None:
+                    self.hotness.sample(request.vaddr)
+            except (TranslationFault, ProtectionFault) as exc:
+                reason = str(exc)
+        if not ok:
+            self._m_direct_nacks.inc()
+
+        map_version = (self.placement_map.version
+                       if self.placement_map is not None else 0)
+        reply = DirectReadReply(
+            request_id=request.request_id, vaddr=request.vaddr, ok=ok,
+            data=data, map_version=map_version, nack_reason=reason)
+        yield from self._hold(self.tx_unit, acc.netstack_occupancy_ns)
+        yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
+        self._span_netstack.record(acc.netstack_ns)
+        # Straight back to the issuing client -- no switch traversal.
+        self.session.send(request.reply_to, DIRECT_READ_KIND, reply,
+                          reply.wire_bytes(), segments=2)
 
     def _serve(self, request: TraversalRequest):
         """One request's life after admission: workspace, execute, reply."""

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional
 
 from repro.core.accelerator import PULSE_KIND
 from repro.core.iterator import FaultInfo, PulseIterator, TraversalResult
-from repro.core.messages import (RequestStatus, TraversalBatch,
+from repro.core.messages import (DIRECT_READ_KIND, DirectReadRequest,
+                                 RequestStatus, TraversalBatch,
                                  TraversalRequest)
 from repro.core.offload import OffloadEngine
 from repro.isa.instructions import ExecutionFault, wrap64
@@ -170,7 +171,8 @@ class PulseClient:
                  switch_name: str = "switch", stack_cores: int = 8,
                  batch_size: int = 1, flush_ns: Optional[float] = None,
                  tracer=None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 index=None):
         self.env = env
         self.fabric = fabric
         self.params = params
@@ -210,6 +212,12 @@ class PulseClient:
         #: issue -> complete latency for every traversal; one shared
         #: name across all systems so a single snapshot() compares them
         self._latency = registry.histogram("request.latency_ns")
+        #: optional client-resident split index
+        #: (:class:`~repro.index.SplitIndexDirectory`); when attached,
+        #: indexable point lookups try the one-RTT direct-read fast path
+        #: before falling back to the offloaded traversal
+        self.index = index
+        self._dr_counter = 0
         self.batcher = DoorbellBatcher(self, batch_size=batch_size,
                                        flush_ns=flush_ns)
         self.completed: List[TraversalResult] = []
@@ -296,6 +304,12 @@ class PulseClient:
             result = yield from self._execute_local(iterator, args, start)
             return result
 
+        if self.index is not None and iterator.indexable:
+            result = yield from self._try_direct_read(iterator, args,
+                                                      start)
+            if result is not None:
+                return result
+
         request = self.engine.make_request(iterator, *args,
                                            issued_at_ns=start)
         self.tracer.record(self.name, "issue", request.request_id,
@@ -327,7 +341,83 @@ class PulseClient:
                            status=response.status.value,
                            iterations=response.iterations_done,
                            hops=response.node_hops)
+        if (self.index is not None and iterator.indexable
+                and response.status is RequestStatus.DONE):
+            self._learn_from_traversal(iterator, args, response)
         return result
+
+    # -- split-index fast path ------------------------------------------------
+    def _learn_from_traversal(self, iterator: PulseIterator, args,
+                              response: TraversalRequest) -> None:
+        """Populate the directory from a completed offloaded lookup."""
+        vaddr = iterator.index_locate(response)
+        if vaddr is None:
+            return  # negative lookup: nothing to cache
+        placement = self.memory.placement
+        owner = placement.node_of(vaddr)
+        if owner is not None:
+            self.index.learn(iterator.index_key(*args), owner, vaddr,
+                             placement.version)
+
+    def _try_direct_read(self, iterator: PulseIterator, args,
+                         start: float):
+        """Attempt the one-RTT fast path; None means fall back.
+
+        Any failure -- NACK from the node (segment migrated away or
+        address unmapped), reply timeout, or bytes that no longer decode
+        to the key (e.g. a B-tree leaf split) -- invalidates the
+        directory entry and returns ``None`` so the caller runs the
+        always-correct offloaded traversal, which re-learns the entry.
+        """
+        key = iterator.index_key(*args)
+        entry = self.index.lookup(key)
+        if entry is None:
+            return None
+        offset, size = iterator.index_window()
+        self._dr_counter += 1
+        rid = ("dr", self.name, self._dr_counter)
+        request = DirectReadRequest(
+            request_id=rid, vaddr=entry.vaddr + offset, size=size,
+            epoch=entry.epoch, reply_to=self.name, issued_at_ns=start)
+        waiter = self.env.event()
+        self._waiters[rid] = waiter
+        yield from self._hold_stack()
+        # Straight to the owning node: one RTT, no switch traversal.
+        self.session.send(f"mem{entry.node_id}", DIRECT_READ_KIND,
+                          request, request.wire_bytes(), segments=2)
+        timer = self.env.timeout(self.params.network.retransmit_timeout_ns)
+        yield self.env.any_of([waiter, timer])
+        if not waiter.processed:
+            # No reply inside the window; don't retry the hint, repair
+            # it through the traversal path instead.
+            self._waiters.pop(rid, None)
+            self.index.timeouts.inc()
+            self.index.invalidate(key)
+            return None
+        reply = waiter.value
+        if not reply.ok:
+            self.tracer.record(self.name, "direct_read_nack", rid,
+                               reason=reply.nack_reason)
+            self.index.stale_nacks.inc()
+            self.index.invalidate(key)
+            return None
+        matched, value = iterator.index_decode(key, reply.data)
+        if not matched:
+            # The structure mutated under the cached address (the bytes
+            # are live but no longer describe this key).
+            self.index.decode_misses.inc()
+            self.index.invalidate(key)
+            return None
+        if reply.map_version != entry.epoch:
+            # The node still owns the address under a newer placement
+            # epoch; refresh the entry in place.
+            self.index.learn(key, entry.node_id, entry.vaddr,
+                             reply.map_version)
+        self.tracer.record(self.name, "direct_read_hit", rid,
+                           vaddr=hex(entry.vaddr))
+        return TraversalResult(
+            value=value, iterations=1,
+            latency_ns=self.env.now - start, offloaded=True, hops=0)
 
     def _finish(self, result: TraversalResult) -> None:
         self._m_traversals.inc()

@@ -25,6 +25,7 @@ from repro.core.client import PendingTraversal, PulseClient
 from repro.core.iterator import PulseIterator, TraversalResult
 from repro.core.offload import OffloadEngine
 from repro.core.switch import PulseSwitch
+from repro.index import SplitIndexDirectory
 from repro.mem.allocator import PlacementPolicy
 from repro.mem.node import GlobalMemory
 from repro.obs.metrics import MetricsRegistry
@@ -53,7 +54,10 @@ class PulseCluster:
                  batch_size: int = 1,
                  flush_ns: Optional[float] = None,
                  trace: bool = False,
-                 seed: int = 0):
+                 seed: int = 0,
+                 split_index: bool = False,
+                 split_index_capacity: int = 1 << 20,
+                 split_index_invalidate: bool = True):
         self.params = params if params is not None else DEFAULT_PARAMS
         self.env = Environment()
         #: one registry carries every metric in the rack; snapshot() is
@@ -97,7 +101,7 @@ class PulseCluster:
         #: rebalancer control loop (see docs/architecture.md)
         self.placement = PlacementService(self.env, self.memory,
                                           self.params, self.registry,
-                                          tracer=self.tracer)
+                                          tracer=self.tracer, seed=seed)
         for acc in self.accelerators:
             self.placement.attach_accelerator(acc)
         if client_count < 1:
@@ -106,12 +110,24 @@ class PulseCluster:
             OffloadEngine(self.params.accelerator, client_id=i)
             for i in range(client_count)
         ]
+        #: per-client split-index directories (empty when disabled);
+        #: cluster-wide hit/miss/NACK counters live under ``index.*``
+        self.indexes: List[SplitIndexDirectory] = []
+        if split_index:
+            for i in range(client_count):
+                directory = SplitIndexDirectory(
+                    registry=self.registry, name=f"client{i}",
+                    capacity=split_index_capacity,
+                    invalidate_on_move=split_index_invalidate)
+                self.memory.placement.subscribe(directory.on_move)
+                self.indexes.append(directory)
         self.clients: List[PulseClient] = [
             PulseClient(self.env, self.fabric, self.params,
                         self.engines[i], self.memory,
                         name=f"client{i}", batch_size=batch_size,
                         flush_ns=flush_ns, tracer=self.tracer,
-                        registry=self.registry)
+                        registry=self.registry,
+                        index=(self.indexes[i] if split_index else None))
             for i in range(client_count)
         ]
         self._next_client = 0
@@ -182,6 +198,22 @@ class PulseCluster:
 
     def stop_rebalancer(self) -> None:
         self.placement.stop_rebalancer()
+
+    def load_index(self, structure) -> int:
+        """Bulk-prime every client's split index from a built structure.
+
+        ``structure`` must expose ``index_entries()`` (HashTable,
+        BPlusTree, SkipList).  A no-op when the cluster was built
+        without ``split_index=True``.  Returns entries loaded per
+        directory.
+        """
+        if not self.indexes:
+            return 0
+        entries = list(structure.index_entries())
+        loaded = 0
+        for directory in self.indexes:
+            loaded = directory.bulk_load(entries, self.memory.placement)
+        return loaded
 
     # -- running work -----------------------------------------------------------
     def _pick_client(self) -> PulseClient:

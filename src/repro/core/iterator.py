@@ -111,6 +111,37 @@ class PulseIterator:
     #: compiled next()/end() logic; subclasses must set this
     program: Program = None
 
+    #: True when this iterator is a point lookup whose terminal node the
+    #: split index can cache (see ``repro.index``).  Indexable iterators
+    #: must implement the four ``index_*`` hooks below.
+    indexable: bool = False
+
+    # -- split-index hooks (indexable point lookups only) --------------------
+    def index_key(self, *args) -> int:
+        """The directory key for this lookup's ``init(*args)``."""
+        raise NotImplementedError
+
+    def index_window(self) -> Tuple[int, int]:
+        """(offset, size) to read at the terminal node for a direct hit."""
+        raise NotImplementedError
+
+    def index_locate(self, response) -> Optional[int]:
+        """Terminal-node vaddr from a completed traversal response.
+
+        Returns ``None`` when the traversal did not find the key (a
+        negative lookup caches nothing).
+        """
+        raise NotImplementedError
+
+    def index_decode(self, key: int, raw: bytes):
+        """Decode a direct read's bytes: (matched, value).
+
+        ``matched=False`` means the bytes at the cached address no
+        longer describe ``key`` (e.g. a B-tree leaf split moved it) --
+        the client treats it like a miss and falls back to traversal.
+        """
+        raise NotImplementedError
+
     def init(self, *args) -> Tuple[int, bytes]:
         """CPU-node setup: returns (start cur_ptr, initial scratch bytes).
 

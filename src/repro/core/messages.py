@@ -131,6 +131,58 @@ class TraversalRequest:
         )
 
 
+#: fabric message kind for split-index direct reads (the one-RTT fast
+#: path); distinct from ``"pulse"`` so the switch never tries to route
+#: these frames -- they travel client <-> memory node directly
+DIRECT_READ_KIND = "direct_read"
+
+
+@dataclass
+class DirectReadRequest:
+    """A one-RTT read issued from a client's split-index directory.
+
+    The client believes ``vaddr`` (on the addressed node) holds the
+    record for some key; ``epoch`` is the :class:`~repro.placement.
+    rangemap.PlacementMap` version the directory entry was learned
+    under.  The serving node validates the address against its *live*
+    translation table and placement before touching DRAM -- a migrated
+    or unmapped address NACKs, never returns stale bytes.
+    """
+
+    request_id: Tuple[str, int]      # (client name, per-client counter)
+    vaddr: int
+    size: int
+    epoch: int
+    #: fabric endpoint the reply goes back to (no switch traversal)
+    reply_to: str
+    issued_at_ns: float = 0.0
+
+    def wire_bytes(self) -> int:
+        # framing + header + vaddr/size/epoch words
+        return FRAME_BYTES + HEADER_BYTES + 24
+
+
+@dataclass
+class DirectReadReply:
+    """The memory node's answer to a :class:`DirectReadRequest`.
+
+    ``map_version`` carries the node's view of the live placement-map
+    version so the client can repair (or invalidate) its directory
+    entry; on a NACK (``ok=False``) ``nack_reason`` says why and the
+    client falls back to the normal offloaded traversal.
+    """
+
+    request_id: Tuple[str, int]
+    vaddr: int
+    ok: bool
+    data: bytes = b""
+    map_version: int = 0
+    nack_reason: str = ""
+
+    def wire_bytes(self) -> int:
+        return FRAME_BYTES + HEADER_BYTES + 24 + len(self.data)
+
+
 @dataclass
 class TraversalBatch:
     """Several traversal requests coalesced into one network message.

@@ -37,6 +37,23 @@ from repro.transport import TransportSession
 CLIENT_TABLE_CAPACITY = 1024
 
 
+class _ClientEntry:
+    """One learned request-id binding: who to reply to, and liveness.
+
+    ``epoch`` is the highest inter-node hop count routed for the id;
+    ``last_seen`` is bumped on *every* frame carrying the id, so the
+    eviction scan can tell an in-flight traversal (recent activity)
+    from an abandoned binding whose terminal response was lost.
+    """
+
+    __slots__ = ("client", "epoch", "last_seen")
+
+    def __init__(self, client: str, epoch: int, last_seen: float):
+        self.client = client
+        self.epoch = epoch
+        self.last_seen = last_seen
+
+
 class PulseSwitch:
     """Tofino-style range-routing for pulse traversal packets."""
 
@@ -67,17 +84,15 @@ class PulseSwitch:
                                         registry=registry,
                                         default_segments=1)
         self.endpoint = self.session.endpoint
-        #: request id -> client endpoint name, learned from requests;
-        #: the hardware encodes this in the packet's source fields.
-        #: Insertion-ordered and bounded: entries whose terminal response
-        #: was lost would otherwise pin SRAM forever, so the oldest entry
-        #: is evicted once the table is full (FIFO ~ oldest-first).
-        self._client_of: Dict[tuple, str] = {}
-        #: request id -> highest inter-node hop count seen, kept in
-        #: lockstep with ``_client_of``; a RUNNING frame from a memory
-        #: node with a *lower* hop count than already routed is a stale
-        #: leftover of an abandoned earlier attempt and is dropped
-        self._epoch_of: Dict[tuple, int] = {}
+        #: request id -> :class:`_ClientEntry`, learned from requests;
+        #: the hardware encodes the client in the packet's source
+        #: fields.  Insertion-ordered and bounded: entries whose
+        #: terminal response was lost would otherwise pin SRAM forever,
+        #: so once the table is full the oldest *inactive* entry is
+        #: evicted -- entries with recent frames (an in-flight
+        #: traversal) are skipped, or the RETURN frame would find no
+        #: binding and be dropped as stale, orphaning the traversal.
+        self._table: Dict[tuple, _ClientEntry] = {}
         self.client_table_capacity = client_table_capacity
         if registry is None:
             registry = fabric.registry
@@ -89,11 +104,13 @@ class PulseSwitch:
         self._m_dropped_stale = registry.counter("switch.dropped_stale")
         self._m_stale_epoch = registry.counter("switch.stale_epoch_drops")
         self._m_evicted = registry.counter("switch.evicted_entries")
+        self._m_evict_avoided = registry.counter(
+            "switch.client_evict_inflight_avoided")
         self._m_batches = registry.counter("switch.batches_routed")
         self._m_batch_splits = registry.counter("switch.batch_splits")
         self._m_moved = registry.counter("switch.moved_redirects")
         registry.gauge("switch.client_table_occupancy",
-                       fn=lambda: len(self._client_of))
+                       fn=lambda: len(self._table))
         registry.gauge("switch.rules",
                        fn=lambda: float(self.rangemap.rule_count))
         env.process(self._route_loop())
@@ -124,8 +141,12 @@ class PulseSwitch:
         return self._m_evicted.value
 
     @property
+    def client_evict_inflight_avoided(self) -> int:
+        return self._m_evict_avoided.value
+
+    @property
     def client_table_occupancy(self) -> int:
-        return len(self._client_of)
+        return len(self._table)
 
     @property
     def moved_redirects(self) -> int:
@@ -164,7 +185,12 @@ class PulseSwitch:
             # the client is deliberately restarting the chain.
             self._learn_client(request, message.src)
 
-        client = self._client_of.get(request.request_id, message.src)
+        entry = self._table.get(request.request_id)
+        if entry is not None:
+            # Any frame for the id -- either direction -- proves the
+            # traversal is alive; the eviction scan keys off this.
+            entry.last_seen = self.env.now
+        client = entry.client if entry is not None else message.src
 
         if request.status is RequestStatus.MOVED:
             # A straggler reached the *old* owner of a migrated segment
@@ -185,8 +211,7 @@ class PulseSwitch:
                     f"switch: no live owner for moved pointer "
                     f"{request.cur_ptr:#x}")
                 self._m_returned.inc()
-                self._client_of.pop(request.request_id, None)
-                self._epoch_of.pop(request.request_id, None)
+                self._table.pop(request.request_id, None)
                 self._forward(message, client)
                 return
             request.status = RequestStatus.RUNNING
@@ -233,26 +258,56 @@ class PulseSwitch:
         # Terminal statuses go home.  A terminal response whose request
         # id is unknown is a stale duplicate (its original already
         # completed, e.g. after a spurious retransmission): drop it.
-        if from_memory and request.request_id not in self._client_of:
+        if from_memory and request.request_id not in self._table:
             self._m_dropped_stale.inc()
             return
         self._m_returned.inc()
         self.tracer.record(self.name, "return_to_client",
                            request.request_id, dst=client)
-        self._client_of.pop(request.request_id, None)
-        self._epoch_of.pop(request.request_id, None)
+        self._table.pop(request.request_id, None)
         self._forward(message, client)
 
     def _learn_client(self, request: TraversalRequest, src: str) -> None:
-        """Record the issuing client; evict oldest entries when full."""
-        if (request.request_id not in self._client_of
-                and len(self._client_of) >= self.client_table_capacity):
-            evicted = next(iter(self._client_of))
-            self._client_of.pop(evicted)
-            self._epoch_of.pop(evicted, None)
-            self._m_evicted.inc()
-        self._client_of[request.request_id] = src
-        self._epoch_of[request.request_id] = request.node_hops
+        """Record the issuing client, evicting when the table is full.
+
+        Eviction walks insertion order (oldest first) but *skips*
+        entries that carried a frame within the last retransmission
+        window -- those traversals are in flight, and evicting one
+        orphans its RETURN frame (the terminal path drops unknown ids
+        as stale duplicates).  Only if every entry looks active is the
+        least-recently-seen one force-evicted.
+        """
+        entry = self._table.get(request.request_id)
+        if entry is not None:
+            entry.client = src
+            entry.epoch = request.node_hops
+            entry.last_seen = self.env.now
+            return
+        if len(self._table) >= self.client_table_capacity:
+            self._evict_one()
+        self._table[request.request_id] = _ClientEntry(
+            src, request.node_hops, self.env.now)
+
+    def _evict_one(self) -> None:
+        now = self.env.now
+        window = self.params.network.retransmit_timeout_ns
+        skipped_inflight = False
+        victim = None
+        for rid, entry in self._table.items():
+            if now - entry.last_seen < window:
+                skipped_inflight = True
+                continue
+            victim = rid
+            break
+        if victim is None:
+            # Every entry is plausibly in flight: evict the stalest one
+            # anyway -- the table must admit the new request.
+            victim = min(self._table,
+                         key=lambda rid: self._table[rid].last_seen)
+        elif skipped_inflight:
+            self._m_evict_avoided.inc()
+        self._table.pop(victim)
+        self._m_evicted.inc()
 
     def _stale_epoch(self, request: TraversalRequest) -> bool:
         """True when a from-memory RUNNING frame is behind the chain.
@@ -262,11 +317,13 @@ class PulseSwitch:
         NACK resubmissions legitimately repeat an epoch), only a
         strictly lower one is.
         """
-        recorded = self._epoch_of.get(request.request_id)
-        if recorded is not None and request.node_hops < recorded:
+        entry = self._table.get(request.request_id)
+        if entry is None:
+            return False
+        if request.node_hops < entry.epoch:
             return True
-        if recorded is None or request.node_hops > recorded:
-            self._epoch_of[request.request_id] = request.node_hops
+        if request.node_hops > entry.epoch:
+            entry.epoch = request.node_hops
         return False
 
     def _route_batch(self, message: Message) -> None:
@@ -289,9 +346,9 @@ class PulseSwitch:
                 request.status = RequestStatus.FAULT
                 request.fault_reason = (
                     f"switch: unroutable pointer {request.cur_ptr:#x}")
-                client = self._client_of.pop(request.request_id,
-                                             message.src)
-                self._epoch_of.pop(request.request_id, None)
+                popped = self._table.pop(request.request_id, None)
+                client = (popped.client if popped is not None
+                          else message.src)
                 self._m_returned.inc()
                 self._send(request, request.wire_bytes(), client)
                 continue

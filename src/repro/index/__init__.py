@@ -1,0 +1,13 @@
+"""Client-resident split index (compute-side directory, PULSE fallback).
+
+Inspired by the DEX/Outback split-index design: the client keeps a
+compact key -> (node_id, vaddr, placement_epoch) directory so hot point
+lookups become one direct READ to the owning memory node -- one RTT, no
+switch traversal, no pointer chase.  The offloaded traversal engine
+remains the always-correct fallback for misses, stale entries, and
+everything that is not a point lookup.
+"""
+
+from repro.index.directory import IndexEntry, SplitIndexDirectory
+
+__all__ = ["IndexEntry", "SplitIndexDirectory"]

@@ -42,30 +42,54 @@ class ForwardingTable:
     """
 
     def __init__(self):
-        #: (virt_start, virt_end) -> (new_owner, installed_at_ns)
-        self._hints: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        #: hint id -> (virt_start, virt_end, new_owner, installed_at_ns);
+        #: keyed by a per-table monotonic id so each migration's expiry
+        #: removes exactly the hint *it* installed.  Expiring by time
+        #: window alone is wrong: two overlapping migrations inside one
+        #: forward window would have the first window's sweep drop the
+        #: second migration's still-live hint.
+        self._hints: Dict[int, Tuple[int, int, int, float]] = {}
+        self._next_id = 0
         self.redirects = 0
 
     def __len__(self) -> int:
         return len(self._hints)
 
     def install(self, virt_start: int, virt_end: int, new_owner: int,
-                now: float) -> None:
-        self._hints[(virt_start, virt_end)] = (new_owner, now)
+                now: float) -> int:
+        """Install a redirect hint; returns its id for exact removal."""
+        hint_id = self._next_id
+        self._next_id += 1
+        self._hints[hint_id] = (virt_start, virt_end, new_owner, now)
+        return hint_id
 
     def lookup(self, vaddr: int) -> Optional[int]:
-        for (start, end), (owner, _t) in self._hints.items():
-            if start <= vaddr < end:
-                self.redirects += 1
-                return owner
-        return None
+        # Newest matching hint wins: a range migrated twice should
+        # redirect stragglers to the most recent destination.
+        best_id = -1
+        best_owner = None
+        for hint_id, (start, end, owner, _t) in self._hints.items():
+            if start <= vaddr < end and hint_id > best_id:
+                best_id = hint_id
+                best_owner = owner
+        if best_owner is not None:
+            self.redirects += 1
+        return best_owner
+
+    def remove(self, hint_id: int) -> bool:
+        """Drop one specific hint (a migration's own expiry timer)."""
+        return self._hints.pop(hint_id, None) is not None
 
     def expire(self, now: float, window_ns: float) -> int:
-        """Drop hints older than the forwarding window; returns #dropped."""
-        stale = [key for key, (_o, t) in self._hints.items()
-                 if now - t > window_ns]
-        for key in stale:
-            del self._hints[key]
+        """Age sweep: drop hints older than the window; returns #dropped.
+
+        Kept for administrative cleanup; live migrations remove their
+        own hint by id via :meth:`remove` instead.
+        """
+        stale = [hint_id for hint_id, (_s, _e, _o, t) in
+                 self._hints.items() if now - t > window_ns]
+        for hint_id in stale:
+            del self._hints[hint_id]
         return len(stale)
 
 

@@ -2,10 +2,16 @@
 
 The accelerator's memory-access pipeline calls :meth:`HotnessTracker.
 sample` once per iteration; the tracker keeps an EWMA-decayed access
-count per fixed-size virtual segment.  Sampling is 1-in-``sample_period``
-(each sample is weighted by the period, so the estimate stays unbiased)
--- hardware would do exactly this with a count-min sketch or sampled
-mirroring rather than touch SRAM on every access.
+count per fixed-size virtual segment.  Sampling is probabilistic
+1-in-``sample_period``: each access is taken with probability
+``1/sample_period`` via a seeded geometric skip (each taken sample is
+weighted by the period, so the estimate stays unbiased) -- hardware
+would do exactly this with a count-min sketch or sampled mirroring
+rather than touch SRAM on every access.  A *deterministic* countdown
+would systematically mis-sample any access pattern whose period divides
+``sample_period`` (e.g. a strided scan interleaved across segments),
+skewing rebalancer decisions; the geometric skip has no phase to lock
+onto while staying deterministic per run seed.
 
 Decay is applied lazily: a segment's count is scaled by
 ``0.5 ** (elapsed / halflife)`` whenever it is read or written, so idle
@@ -15,6 +21,8 @@ export the rack-wide view.
 
 from __future__ import annotations
 
+import math
+import random
 from typing import Callable, Dict, List, Tuple
 
 
@@ -32,7 +40,8 @@ class HotnessTracker:
     PRUNE_PERIOD = 4096
 
     def __init__(self, segment_bytes: int, halflife_ns: float,
-                 clock: Callable[[], float], sample_period: int = 8):
+                 clock: Callable[[], float], sample_period: int = 8,
+                 seed: int = 0):
         if segment_bytes < 1 or (segment_bytes & (segment_bytes - 1)):
             raise ValueError("segment_bytes must be a power of two")
         if halflife_ns <= 0:
@@ -43,11 +52,28 @@ class HotnessTracker:
         self.halflife_ns = halflife_ns
         self.sample_period = sample_period
         self.clock = clock
-        self._countdown = sample_period
+        #: skip-length source, deterministic per run seed
+        self._rng = random.Random(f"{seed}:hotness")
+        self._countdown = self._draw_skip()
         #: segment start -> (decayed count, last decay timestamp)
         self._segments: Dict[int, Tuple[float, float]] = {}
         self.samples = 0
         self._until_prune = self.PRUNE_PERIOD
+
+    def _draw_skip(self) -> int:
+        """Accesses until the next taken sample, Geometric(1/period).
+
+        Inverse-CDF draw: equivalent to flipping an i.i.d.
+        Bernoulli(1/period) coin per access, so E[taken fraction] =
+        1/period for *every* access pattern -- no phase for a strided
+        workload to lock onto.  ``sample_period=1`` degenerates to
+        sampling every access (skip is always 1).
+        """
+        if self.sample_period == 1:
+            return 1
+        p = 1.0 / self.sample_period
+        u = 1.0 - self._rng.random()  # u in (0, 1]
+        return 1 + int(math.log(u) / math.log(1.0 - p))
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -65,7 +91,7 @@ class HotnessTracker:
         self._countdown -= 1
         if self._countdown > 0:
             return
-        self._countdown = self.sample_period
+        self._countdown = self._draw_skip()
         self.record(vaddr, weight=float(self.sample_period))
 
     def record(self, vaddr: int, weight: float = 1.0) -> None:

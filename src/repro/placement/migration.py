@@ -145,7 +145,8 @@ class MigrationEngine:
             # holds.  Every failure surfaces as MigrationError so callers
             # (the rebalancer loop) need to handle exactly one type.
             try:
-                total, live = self._fence(src, dst, virt_start, virt_end)
+                total, live, hint_id = self._fence(src, dst, virt_start,
+                                                   virt_end)
             except MigrationError:
                 self._count_failed()
                 raise
@@ -156,9 +157,11 @@ class MigrationEngine:
         finally:
             self.in_flight -= 1
 
-        # Phase 3: the forwarding window runs passively (hints installed
-        # by the fence); schedule its expiry.
-        self.env.process(self._expire_hints(src_node))
+        # Phase 3: the forwarding window runs passively (the hint was
+        # installed by the fence); schedule the expiry of exactly *this*
+        # migration's hint.  Expiring by age would let this window's
+        # sweep drop a younger overlapping migration's still-live hint.
+        self.env.process(self._expire_hints(src_node, hint_id))
 
         self.completed += 1
         self.bytes_migrated += total
@@ -198,10 +201,10 @@ class MigrationEngine:
 
     # -- internals ----------------------------------------------------------
     def _fence(self, src: int, dst: int, virt_start: int,
-               virt_end: int) -> Tuple[int, int]:
+               virt_end: int) -> Tuple[int, int, int]:
         """Atomic switch-over: bytes, TCAMs, allocator, map, hint.
 
-        Returns ``(mapped_bytes, live_bytes)`` moved.  Failure-atomic:
+        Returns ``(mapped_bytes, live_bytes, hint_id)``.  Failure-atomic:
         no simulated time passes inside the fence, so every check re-run
         at entry holds for the whole switch-over, all validation happens
         before the first destructive step, and the one resource acquired
@@ -254,13 +257,13 @@ class MigrationEngine:
         live = allocator.transfer_ownership(virt_start, virt_end, src,
                                             dst)
         self.rangemap.move(virt_start, virt_end, dst)
-        src_node.forwarding.install(virt_start, virt_end, dst,
-                                    self.env.now)
-        return total, live
+        hint_id = src_node.forwarding.install(virt_start, virt_end, dst,
+                                              self.env.now)
+        return total, live, hint_id
 
-    def _expire_hints(self, node):
+    def _expire_hints(self, node, hint_id: int):
         yield self.env.timeout(self.params.forward_window_ns)
-        node.forwarding.expire(self.env.now, self.params.forward_window_ns)
+        node.forwarding.remove(hint_id)
 
     def _pick_target(self, node_id: int,
                      targets: Optional[Iterable[int]]) -> Optional[int]:

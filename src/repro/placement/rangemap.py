@@ -42,10 +42,23 @@ class PlacementMap:
         self._starts: List[int] = []
         self._rules: List[Tuple[int, int, int]] = []
         self.version = 0
+        #: move() observers: fn(virt_start, virt_end, new_owner, version)
+        self._subscribers: List = []
         for start, end, node_id in addrspace.switch_rules():
             self._rules.append((start, end, node_id))
         self._rules.sort()
         self._starts = [r[0] for r in self._rules]
+
+    def subscribe(self, callback) -> None:
+        """Register a ``move()`` observer.
+
+        Called *after* the rules and version update, with
+        ``(virt_start, virt_end, new_owner, version)`` -- how cached
+        routing state (e.g. a client's split-index directory) learns to
+        drop entries for a migrated range at the migration's fence
+        instant rather than on the first stale NACK.
+        """
+        self._subscribers.append(callback)
 
     @property
     def rule_count(self) -> int:
@@ -124,3 +137,5 @@ class PlacementMap:
         self._rules = coalesced
         self._starts = [r[0] for r in self._rules]
         self.version += 1
+        for callback in self._subscribers:
+            callback(virt_start, virt_end, new_owner, self.version)

@@ -16,7 +16,8 @@ from repro.placement.rebalancer import Rebalancer
 class PlacementService:
     """One rack's elastic-placement stack."""
 
-    def __init__(self, env, memory, params, registry, tracer=None):
+    def __init__(self, env, memory, params, registry, tracer=None,
+                 seed: int = 0):
         placement = params.placement  # SystemParams -> PlacementParams
         self.env = env
         self.memory = memory
@@ -27,7 +28,8 @@ class PlacementService:
             segment_bytes=placement.segment_bytes,
             halflife_ns=placement.hot_halflife_ns,
             clock=lambda: env.now,
-            sample_period=placement.sample_period)
+            sample_period=placement.sample_period,
+            seed=seed)
         self.engine = MigrationEngine(env, memory, placement,
                                       registry=registry, tracer=tracer)
         self.rebalancer = Rebalancer(env, self.engine, self.tracker,

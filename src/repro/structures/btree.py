@@ -112,6 +112,33 @@ class BTreeLookup(PulseIterator):
             return None
         return int.from_bytes(scratch[8:16], "little")
 
+    # -- split-index hooks ---------------------------------------------------
+    indexable = True
+
+    def index_key(self, key: int) -> int:
+        return int(key)
+
+    def index_window(self) -> Tuple[int, int]:
+        # The whole leaf: a direct read re-runs the in-leaf key scan.
+        return 0, self.layout.size
+
+    def index_locate(self, response) -> Optional[int]:
+        if int.from_bytes(response.scratch[16:24],
+                          "little") != STATUS_FOUND:
+            return None
+        # The lookup halts on the leaf holding the key.
+        return response.cur_ptr
+
+    def index_decode(self, key: int, raw: bytes):
+        node = self.layout.unpack(raw)
+        if not node["flags"] & LEAF_FLAG:
+            return False, None
+        for i in range(node["count"]):
+            if node["keys"][i] == key:
+                return True, node["ptrs"][i]
+        # A split since learn time may have moved the key rightward.
+        return False, None
+
 
 class BTreeScanCollect(PulseIterator):
     """Range scan collecting matching keys into the scratch pad.
@@ -573,6 +600,15 @@ class BPlusTree(DisaggregatedStructure):
                 items.append((node["keys"][i], node["ptrs"][i]))
             addr = node["ptrs"][self.fanout]
         return items
+
+    def index_entries(self):
+        """Yield (key, leaf vaddr) for every key (bulk index priming)."""
+        addr = self._leftmost_leaf()
+        while addr != NULL:
+            node = self._read_node(addr)
+            for i in range(node["count"]):
+                yield node["keys"][i], addr
+            addr = node["ptrs"][self.fanout]
 
     def _leftmost_leaf(self) -> int:
         addr = self.root

@@ -91,6 +91,28 @@ class HashFind(PulseIterator):
             return None
         return bytes(scratch[16:16 + self.value_bytes])
 
+    # -- split-index hooks ---------------------------------------------------
+    indexable = True
+
+    def index_key(self, key: int) -> int:
+        return int(key)
+
+    def index_window(self) -> Tuple[int, int]:
+        # key + value; enough to re-check the key and decode the value.
+        return 0, 8 + self.value_bytes
+
+    def index_locate(self, response) -> Optional[int]:
+        if int.from_bytes(response.scratch[8:16],
+                          "little") != STATUS_FOUND:
+            return None
+        # The traversal halts on the matching node; cur_ptr names it.
+        return response.cur_ptr
+
+    def index_decode(self, key: int, raw: bytes):
+        if int.from_bytes(raw[0:8], "little") != key:
+            return False, None
+        return True, bytes(raw[8:8 + self.value_bytes])
+
 
 class HashUpdate(PulseIterator):
     """In-place 8-byte value update via the STORE write path.
@@ -206,6 +228,16 @@ class HashTable(DisaggregatedStructure):
                 return self.layout.unpack_field(raw, "value")
             addr = self.layout.unpack_field(raw, "next")
         return None
+
+    def index_entries(self):
+        """Yield (key, node vaddr) for every stored pair (bulk priming)."""
+        next_offset = self.layout.offset("next")
+        for sentinel in self._sentinels:
+            addr = self.memory.read_u64(sentinel + next_offset)
+            while addr != NULL:
+                raw = self.memory.read(addr, self.layout.size)
+                yield self.layout.unpack_field(raw, "key"), addr
+                addr = self.layout.unpack_field(raw, "next")
 
     def chain_length(self, bucket: int) -> int:
         next_offset = self.layout.offset("next")

@@ -92,6 +92,28 @@ class SkipFind(PulseIterator):
             return None
         return int.from_bytes(scratch[8:16], "little", signed=True)
 
+    # -- split-index hooks ---------------------------------------------------
+    indexable = True
+
+    def index_key(self, key: int) -> int:
+        return int(key)
+
+    def index_window(self) -> Tuple[int, int]:
+        # key + value of the bottom-lane node.
+        return 0, 16
+
+    def index_locate(self, response) -> Optional[int]:
+        if int.from_bytes(response.scratch[16:24],
+                          "little") != STATUS_FOUND:
+            return None
+        # The descent halts on the matching node.
+        return response.cur_ptr
+
+    def index_decode(self, key: int, raw: bytes):
+        if int.from_bytes(raw[0:8], "little") != key:
+            return False, None
+        return True, int.from_bytes(raw[8:16], "little", signed=True)
+
 
 class SkipList(DisaggregatedStructure):
     """A skip list with fat nodes and a sentinel head."""
@@ -179,6 +201,14 @@ class SkipList(DisaggregatedStructure):
     # -- iterators -----------------------------------------------------------------
     def find_iterator(self) -> SkipFind:
         return SkipFind(lambda: self.head, self.layout, self.levels)
+
+    def index_entries(self):
+        """Yield (key, node vaddr) via the bottom lane (bulk priming)."""
+        ptr, _ = self._successor(self.head, 0)
+        while ptr != NULL:
+            raw = self.memory.read(ptr, self.layout.size)
+            yield self.layout.unpack_field(raw, "key"), ptr
+            ptr = self.layout.unpack_field(raw, "next_ptr")[0]
 
     # -- reference ------------------------------------------------------------------
     def find_reference(self, key: int) -> Optional[int]:

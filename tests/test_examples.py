@@ -20,6 +20,7 @@ QUICK_EXAMPLES = [
     "trace_timeline.py",
     "submit_pipeline.py",
     "scale_out.py",
+    "split_index.py",
 ]
 
 

@@ -127,11 +127,41 @@ class TestHotnessTracker:
         assert tracker.heat_of(0x1000) == pytest.approx(0.125)
 
     def test_sampling_is_unbiased(self):
+        # Geometric skips are i.i.d. Bernoulli(1/period) trials in
+        # disguise: each reference is sampled with probability 1/8 and
+        # weighted by 8, so over many references the estimate converges
+        # on the true count (the clock never advances, so no decay).
         tracker = self.make(sample_period=8)
-        for _ in range(80):
+        n = 20_000
+        for _ in range(n):
             tracker.sample(0x1000)
-        # 1-in-8 sampling, each sample weighted by 8: estimate == truth.
-        assert tracker.heat_of(0x1000) == pytest.approx(80.0)
+        assert tracker.heat_of(0x1000) == pytest.approx(n, rel=0.05)
+
+    def test_strided_workload_not_aliased(self):
+        # The old deterministic 1-in-N countdown aliased with strided
+        # access: round-robining 8 segments against a fixed period of 8
+        # landed *every* sample on one segment and reported the other
+        # seven stone cold.  The randomized skip must spread samples so
+        # each segment's estimate tracks its true reference count.
+        tracker = self.make(sample_period=8)
+        per_segment = 4_000
+        for _ in range(per_segment):
+            for seg in range(8):
+                tracker.sample(seg * 4096)
+        heats = [tracker.heat_of(seg * 4096) for seg in range(8)]
+        assert all(h > 0 for h in heats)
+        for h in heats:
+            assert h == pytest.approx(per_segment, rel=0.2)
+
+    def test_sampling_is_seeded_deterministic(self):
+        a = HotnessTracker(segment_bytes=4096, halflife_ns=100.0,
+                           clock=lambda: 0.0, sample_period=8, seed=7)
+        b = HotnessTracker(segment_bytes=4096, halflife_ns=100.0,
+                           clock=lambda: 0.0, sample_period=8, seed=7)
+        for _ in range(1000):
+            a.sample(0x1000)
+            b.sample(0x1000)
+        assert a.heat_of(0x1000) == b.heat_of(0x1000)
 
     def test_hot_segments_ranked(self):
         tracker = self.make()
@@ -196,6 +226,20 @@ class TestForwardingTable:
         assert dropped == 1
         assert table.lookup(0x1800) is None
         assert table.lookup(0x3800) == 2
+
+    def test_remove_drops_exactly_one_hint_by_id(self):
+        # Two hints for the same range (the range migrated away, came
+        # back, and left again): each migration's expiry must remove
+        # only the hint it installed.
+        table = ForwardingTable()
+        first = table.install(0x1000, 0x2000, new_owner=1, now=0.0)
+        second = table.install(0x1000, 0x2000, new_owner=2, now=10.0)
+        assert table.lookup(0x1800) == 2      # newest hint wins
+        assert table.remove(first)
+        assert table.lookup(0x1800) == 2      # younger hint untouched
+        assert table.remove(second)
+        assert table.lookup(0x1800) is None
+        assert not table.remove(second)       # idempotent
 
 
 # ---------------------------------------------------------------------------
@@ -315,6 +359,38 @@ class TestMigration:
         cluster.env.run(until=proc)
         assert cluster.memory.placement.node_of(vaddr) == 1
         assert cluster.memory.read_u64(vaddr) == 0x2222
+
+    def test_overlapping_migrations_expire_hints_independently(self):
+        # Regression: a range that migrates away, bounces back, and
+        # leaves again inside one forward window leaves two hints on
+        # node 0.  Each migration's expiry must remove exactly its own
+        # hint: under the old range-keyed table with an age sweep, the
+        # re-installed hint both shadowed the first and then leaked
+        # past its own window (age == window is not > window), so a
+        # later straggler could be redirected by a dead hint forever.
+        cluster = PulseCluster(node_count=3, params=migration_params())
+        vaddr = cluster.memory.alloc(4096, preferred_node=0)
+        window = cluster.params.placement.forward_window_ns
+
+        fence_times = []
+        for dst in (1, 0, 2):
+            proc = cluster.migrate(vaddr, vaddr + 4096, dst)
+            cluster.env.run(until=proc)
+            fence_times.append(cluster.env.now)
+        t_first, _, t_last = fence_times
+        assert t_last - t_first < window    # the migrations overlap
+
+        fwd = cluster.memory.nodes[0].forwarding
+        assert len(fwd) == 2                # hints from legs 1 and 3
+        assert fwd.lookup(vaddr) == 2       # newest hint wins
+
+        cluster.env.run(until=t_first + window + 1.0)
+        assert len(fwd) == 1                # only leg 1's hint expired
+        assert fwd.lookup(vaddr) == 2       # leg 3 still redirects
+
+        cluster.env.run(until=t_last + window + 1.0)
+        assert len(fwd) == 0
+        assert fwd.lookup(vaddr) is None
 
     def test_migrate_to_self_is_a_noop(self):
         cluster, _ = self.build()

@@ -147,6 +147,65 @@ class TestSwitchClientTableBound:
         env.run()
         assert switch.returned_to_client == 1
 
+    def test_eviction_skips_inflight_entries(self):
+        # Insertion order alone is the wrong eviction key: the oldest
+        # entry may belong to a long traversal that is still hopping
+        # between memory nodes, and evicting it orphans the eventual
+        # terminal response.  The scan must skip entries with recent
+        # activity and take the first *inactive* one instead.
+        env, fabric, space, switch = self.make_switch(capacity=2)
+        timeout = DEFAULT_PARAMS.network.retransmit_timeout_ns
+        for i in (1, 2):
+            fabric.send(Message("pulse", "client0", "switch", 128,
+                                self.request(space, (0, i))), segments=1)
+        env.run()
+
+        # (0, 1) -- the *older* entry -- stays in flight: a RUNNING
+        # frame from memory refreshes its activity stamp.
+        env.run(until=0.75 * timeout)
+        hop = self.request(space, (0, 1)).advanced(
+            space.range_of(0)[0], b"", 1, RequestStatus.RUNNING)
+        fabric.send(Message("pulse", "mem0", "switch", 128, hop),
+                    segments=1)
+        env.run()
+
+        # (0, 3) arrives once (0, 2) has gone quiet for > timeout but
+        # (0, 1)'s refresh is still fresh (0.75 * timeout old).
+        env.run(until=1.5 * timeout)
+        fabric.send(Message("pulse", "client0", "switch", 128,
+                            self.request(space, (0, 3))), segments=1)
+        env.run()
+        assert switch.client_evict_inflight_avoided == 1
+        assert switch.evicted_entries == 1
+
+        # The in-flight traversal's terminal response still goes home;
+        # the evicted idle entry's does not.
+        done1 = self.request(space, (0, 1)).advanced(
+            space.range_of(0)[0], b"", 2, RequestStatus.DONE)
+        fabric.send(Message("pulse", "mem0", "switch", 128, done1),
+                    segments=1)
+        env.run()
+        assert switch.returned_to_client == 1
+        done2 = self.request(space, (0, 2)).advanced(
+            space.range_of(0)[0], b"", 1, RequestStatus.DONE)
+        fabric.send(Message("pulse", "mem0", "switch", 128, done2),
+                    segments=1)
+        env.run()
+        assert switch.dropped_stale == 1
+
+    def test_all_inflight_forces_oldest_activity_eviction(self):
+        # When every entry is active the bound still holds: the scan
+        # falls back to evicting the least-recently-active entry, and
+        # the "avoided" counter stays untouched (nothing was spared).
+        env, fabric, space, switch = self.make_switch(capacity=2)
+        for i in range(3):
+            fabric.send(Message("pulse", "client0", "switch", 128,
+                                self.request(space, (0, i))), segments=1)
+        env.run()
+        assert switch.client_table_occupancy == 2
+        assert switch.evicted_entries == 1
+        assert switch.client_evict_inflight_avoided == 0
+
     def test_retransmission_does_not_evict(self):
         # Re-learning an existing id must not consume capacity.
         env, fabric, space, switch = self.make_switch(capacity=2)
