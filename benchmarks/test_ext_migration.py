@@ -18,11 +18,10 @@ Writes ``ext_migration.txt`` (report table) and
 migration-soak job).
 """
 
-import json
-
 from conftest import RESULTS_DIR, save_table, scale_requests
 
 from repro.bench.driver import run_workload
+from repro.bench.report import write_snapshot
 from repro.bench.experiments import format_table
 from repro.core import PulseCluster
 from repro.params import KB, MB, PlacementParams, SystemParams
@@ -137,27 +136,29 @@ def test_ext_migration(once):
         ["scenario", "req_per_s", "p99_ns", "faults", "migrations",
          "bytes_moved"], rows))
 
-    snapshot = {
-        "storm": {
-            "quiet_p99_ns": quiet.percentile_latency_ns(99.0),
-            "storm_p99_ns": storm.percentile_latency_ns(99.0),
-            "quiet_throughput_per_s": quiet.throughput_per_s,
-            "storm_throughput_per_s": storm.throughput_per_s,
-            "migrations": engine.completed,
-            "bytes_migrated": engine.bytes_migrated,
-            "moved_redirects": stormy_cluster.switch.moved_redirects,
-            "faults": storm.faults,
+    write_snapshot(
+        "migration",
+        params={"requests": requests},
+        metrics={
+            "storm": {
+                "quiet_p99_ns": quiet.percentile_latency_ns(99.0),
+                "storm_p99_ns": storm.percentile_latency_ns(99.0),
+                "quiet_throughput_per_s": quiet.throughput_per_s,
+                "storm_throughput_per_s": storm.throughput_per_s,
+                "migrations": engine.completed,
+                "bytes_migrated": engine.bytes_migrated,
+                "moved_redirects": stormy_cluster.switch.moved_redirects,
+                "faults": storm.faults,
+            },
+            "scale_out": {
+                "before_throughput_per_s": before.throughput_per_s,
+                "after_throughput_per_s": after.throughput_per_s,
+                "bytes_rebalanced": moved,
+                "new_node_bytes_loaded": new_bytes,
+            },
         },
-        "scale_out": {
-            "before_throughput_per_s": before.throughput_per_s,
-            "after_throughput_per_s": after.throughput_per_s,
-            "bytes_rebalanced": moved,
-            "new_node_bytes_loaded": new_bytes,
-        },
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "migration_snapshot.json").write_text(
-        json.dumps(snapshot, indent=2) + "\n")
+        results_dir=RESULTS_DIR,
+        filename="migration_snapshot.json")
 
     # -- migration storm: transparent and bounded -------------------------
     assert quiet.faults == 0 and storm.faults == 0

@@ -22,13 +22,13 @@ Writes ``ext_split_index.txt`` (report table) and
 split-index job).
 """
 
-import json
 import random
 
 from conftest import RESULTS_DIR, save_table, scale_requests
 
 from repro.bench.driver import run_workload
 from repro.bench.experiments import format_table
+from repro.bench.report import write_snapshot
 from repro.core import PulseCluster
 from repro.params import MB
 from repro.structures import HashTable
@@ -116,17 +116,17 @@ def test_ext_split_index(once):
          "hits", "misses"], rows))
 
     by_rate = {cell["hit_rate"]: cell for cell in sweep}
-    snapshot = {
-        "requests": requests,
-        "chain_length": CHAIN_LENGTH,
-        "p50_traversal_ns": base_p50,
-        "p50_hit09_ns": by_rate[0.9]["p50_ns"],
-        "speedup_at_hit09": base_p50 / by_rate[0.9]["p50_ns"],
-        "sweep": sweep,
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "split_index_snapshot.json").write_text(
-        json.dumps(snapshot, indent=2) + "\n")
+    write_snapshot(
+        "split_index",
+        params={"requests": requests, "chain_length": CHAIN_LENGTH},
+        metrics={"sweep": sweep},
+        derived={
+            "p50_traversal_ns": base_p50,
+            "p50_hit09_ns": by_rate[0.9]["p50_ns"],
+            "speedup_at_hit09": base_p50 / by_rate[0.9]["p50_ns"],
+        },
+        results_dir=RESULTS_DIR,
+        filename="split_index_snapshot.json")
 
     # -- correctness: the index never changes what reads observe ----------
     assert base_stats.faults == 0

@@ -1,9 +1,9 @@
-"""Simulator wall-clock benchmark: interpreted vs compiled kernels.
+"""Simulator wall-clock benchmark: interpreted vs compiled vs batched.
 
 Unlike every other file in this directory, which measures *simulated*
 time, this one measures the *simulator's own* speed -- the reason the
-threaded-code compile tier (``repro.isa.compiler``) exists.  Two
-measurements:
+threaded-code compile tier (``repro.isa.compiler``) and the vectorized
+batch machine (``repro.isa.batchmachine``) exist.  Three measurements:
 
 * **Microbench**: raw ``IteratorMachine`` iterations/sec chasing a ring
   of list nodes in a flat byte image, interpreted vs compiled.  This
@@ -12,20 +12,32 @@ measurements:
   with ``PULSE_INTERP=1`` vs the compiled default.  The event engine
   dominates here, so the win is smaller, but compiled mode must never
   be meaningfully slower.
+* **Batch tier**: the chain/B-tree mix driven open loop in bursts of
+  64 through the doorbell batcher, ``PULSE_BATCH=0`` (scalar compiled)
+  vs ``PULSE_BATCH=32`` (each burst splits into a 32-lane chain group
+  and a 32-lane tree group).  Both the per-lane ISA work *and* the
+  event-engine work collapse to one vectorized step per LOAD, so the
+  wall-clock win is large.
 
 Results land in ``benchmarks/results/BENCH_wallclock.json``.  The ISSUE
-acceptance bar -- compiled >= 3x interpreted on the microbench -- is
-asserted, so CI fails on a compile-tier performance regression.
+acceptance bars -- compiled >= 3x interpreted on the microbench, and
+batch >= 3x scalar compiled end to end at 32 lanes -- are asserted, so
+CI fails on an execution-tier performance regression.
 """
 
 import json
 import os
+import random
 import time
 
 from conftest import RESULTS_DIR, SCALE, scale_requests
 
+from repro.bench.driver import run_open_loop
 from repro.bench.experiments import run_open_loop_cell
+from repro.bench.report import write_snapshot
+from repro.core import PulseCluster
 from repro.isa import IteratorMachine, assemble
+from repro.structures import BPlusTree, LinkedList
 
 NODE_STRIDE = 24
 RING_BASE = 4096
@@ -46,6 +58,18 @@ done:
 """
 
 UPC_KW = {"num_pairs": 2000, "chain_length": 4}
+
+#: batch-tier cell: deep chain walks + B+Tree lookups, 32 lockstep lanes
+BATCH_LANES = 32
+#: doorbell burst size; each burst splits into one chain group and one
+#: tree group, so every group fills a 32-lane machine
+BATCH_BURST = 64
+BATCH_CHAIN_NODES = 128
+#: chain lookups target the last few keys, so every lane walks nearly
+#: the full chain -- deep lockstep traversals with no straggler tail
+BATCH_CHAIN_TAIL = 8
+BATCH_TREE_KEYS = 1024
+BATCH_LOAD_PER_S = 8e6
 
 
 def build_ring_image():
@@ -99,6 +123,49 @@ def measure_e2e_seconds(interpreted: bool) -> float:
     return elapsed
 
 
+def measure_batch_e2e_seconds(batch_lanes: int, requests: int) -> float:
+    """Wall clock of the chain/B-tree mix at one ``PULSE_BATCH`` level.
+
+    Structure build and operation-list prep run untimed (identical in
+    both tiers); the timer covers only the open-loop drive.
+    """
+    previous = os.environ.get("PULSE_BATCH")
+    os.environ["PULSE_BATCH"] = str(batch_lanes)
+    try:
+        cluster = PulseCluster(node_count=1, batch_size=BATCH_BURST,
+                               seed=7)
+        chain = LinkedList(cluster.memory)
+        for key in range(BATCH_CHAIN_NODES):
+            chain.append(key, key * 3)
+        tree = BPlusTree(cluster.memory, fanout=8)
+        for key in range(BATCH_TREE_KEYS):
+            tree.insert(key, key * 5)
+        finder = chain.find_iterator()
+        lookup = tree.lookup_iterator()
+        rng = random.Random(13)
+        operations = []
+        for _ in range(requests):
+            if rng.random() < 0.5:
+                operations.append((finder, (rng.randrange(
+                    BATCH_CHAIN_NODES - BATCH_CHAIN_TAIL,
+                    BATCH_CHAIN_NODES),)))
+            else:
+                operations.append(
+                    (lookup, (rng.randrange(BATCH_TREE_KEYS),)))
+        start = time.perf_counter()
+        stats = run_open_loop(cluster, operations, BATCH_LOAD_PER_S,
+                              seed=7, burst=BATCH_BURST)
+        elapsed = time.perf_counter() - start
+    finally:
+        if previous is None:
+            del os.environ["PULSE_BATCH"]
+        else:
+            os.environ["PULSE_BATCH"] = previous
+    assert stats.completed == requests
+    assert stats.faults == 0
+    return elapsed
+
+
 def test_compiled_tier_wallclock():
     hops = max(2_000, int(20_000 * SCALE))
     interp_ips = measure_iterations_per_sec(compiled=False, hops=hops)
@@ -109,8 +176,13 @@ def test_compiled_tier_wallclock():
     e2e_compiled_s = measure_e2e_seconds(interpreted=False)
     e2e_speedup = e2e_interp_s / e2e_compiled_s
 
-    report = {
-        "scale": SCALE,
+    batch_requests = scale_requests(960)
+    batch_scalar_s = measure_batch_e2e_seconds(0, batch_requests)
+    batch_vector_s = measure_batch_e2e_seconds(BATCH_LANES,
+                                               batch_requests)
+    batch_speedup = batch_scalar_s / batch_vector_s
+
+    metrics = {
         "microbench": {
             "hops": hops,
             "interpreted_iterations_per_sec": round(interp_ips),
@@ -123,10 +195,28 @@ def test_compiled_tier_wallclock():
             "compiled_wallclock_s": round(e2e_compiled_s, 3),
             "speedup": round(e2e_speedup, 2),
         },
+        "batch_tier_open_loop": {
+            "requests": batch_requests,
+            "batch_lanes": BATCH_LANES,
+            "scalar_wallclock_s": round(batch_scalar_s, 3),
+            "batch_wallclock_s": round(batch_vector_s, 3),
+            "speedup": round(batch_speedup, 2),
+        },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_wallclock.json"
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    report = {
+        "name": "wallclock",
+        "params": {"scale": SCALE},
+        "metrics": metrics,
+        "derived": {
+            "micro_speedup": round(micro_speedup, 2),
+            "e2e_speedup": round(e2e_speedup, 2),
+            "batch_speedup": round(batch_speedup, 2),
+        },
+    }
+    path = write_snapshot("wallclock", params=report["params"],
+                          metrics=metrics, derived=report["derived"],
+                          results_dir=RESULTS_DIR,
+                          filename="BENCH_wallclock.json")
     print(f"\n{json.dumps(report, indent=2)}\n[saved to {path}]")
 
     # The acceptance bar for the compile tier.
@@ -134,3 +224,7 @@ def test_compiled_tier_wallclock():
     # The event engine dominates end to end; compiled mode must at the
     # very least not regress wall clock (small slack for timer noise).
     assert e2e_speedup >= 0.85, report
+    # The acceptance bar for the batch tier: vectorizing both the lane
+    # logic and the per-iteration event-engine work must pay >= 3x at
+    # 32 lanes on the chain/B-tree mix.
+    assert batch_speedup >= 3.0, report

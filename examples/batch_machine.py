@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The vectorized batch tier: one numpy step for 32 lockstep lanes.
+
+When a doorbell batch lands on an accelerator core, requests running
+the *same* compiled program are grouped into a ``BatchMachine``: every
+lane issues its LOAD for the iteration, the core fetches all the rows
+in one gathered read, and a single vectorized pass executes the
+iteration's arithmetic for every lane at once.  Lanes that finish
+retire early; lanes that hit something the vector path cannot express
+(a fault, a TLB miss) are *demoted* -- rolled back to the top of the
+iteration and resumed on the scalar tier -- so results are bit-exact
+with scalar execution by construction.
+
+``PULSE_BATCH`` picks the lane count at cluster build time (0 forces
+the scalar tier; the default is 32).  This example runs the same
+deep-chain workload both ways and prints the wall-clock win plus the
+batch counters that tell you how full the machine ran.
+
+Run:  python examples/batch_machine.py
+"""
+
+import os
+import random
+import time
+
+from repro import PulseCluster
+from repro.bench.driver import run_open_loop
+from repro.structures import LinkedList
+
+REQUESTS = 768
+BURST = 64
+CHAIN_NODES = 128
+
+
+def run_tier(batch_lanes: int):
+    """Drive deep chain walks open loop at one PULSE_BATCH setting."""
+    os.environ["PULSE_BATCH"] = str(batch_lanes)
+    try:
+        cluster = PulseCluster(node_count=1, batch_size=BURST, seed=7)
+        chain = LinkedList(cluster.memory)
+        for key in range(CHAIN_NODES):
+            chain.append(key, key * 3)
+        finder = chain.find_iterator()
+        rng = random.Random(13)
+        # Target the chain tail so every lane walks nearly the whole
+        # chain: deep lockstep traversals with no straggler tail.
+        operations = [(finder, (rng.randrange(CHAIN_NODES - 8,
+                                              CHAIN_NODES),))
+                      for _ in range(REQUESTS)]
+        start = time.perf_counter()
+        stats = run_open_loop(cluster, operations, 8e6, seed=7,
+                              burst=BURST)
+        elapsed = time.perf_counter() - start
+    finally:
+        del os.environ["PULSE_BATCH"]
+    assert stats.completed == REQUESTS and stats.faults == 0
+    counters = cluster.metrics_snapshot()["counters"]
+    histograms = cluster.metrics_snapshot()["histograms"]
+    return elapsed, counters, histograms
+
+
+def main() -> None:
+    print(f"{REQUESTS} chain walks (~{CHAIN_NODES} hops each), "
+          f"bursts of {BURST}\n")
+
+    scalar_s, _, _ = run_tier(batch_lanes=0)
+    batch_s, counters, histograms = run_tier(batch_lanes=32)
+
+    groups = counters.get("mem0.acc.batch.groups", 0)
+    steps = counters.get("mem0.acc.batch.steps", 0)
+    demotions = counters.get("mem0.acc.batch.demotions", 0)
+    occupancy = histograms.get("mem0.acc.batch.lanes_active", {})
+
+    print(f"scalar compiled (PULSE_BATCH=0):  {scalar_s:6.2f} s")
+    print(f"batch machine  (PULSE_BATCH=32):  {batch_s:6.2f} s")
+    print(f"speedup:                          {scalar_s / batch_s:6.2f}x\n")
+    print(f"batch groups formed:   {groups}")
+    print(f"vectorized steps:      {steps}")
+    print(f"mean lanes per step:   {occupancy.get('mean', 0):.1f}")
+    print(f"lanes demoted:         {demotions}")
+
+    print("\nEvery simulated timing is identical across the tiers --")
+    print("the batch machine changes how fast the simulator runs, not")
+    print("what it computes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,17 @@ class TraversalBackend(Protocol):
         """Issue one traversal asynchronously."""
         ...
 
+    def submit_many(self, requests: Sequence[Tuple[Any, tuple]]
+                    ) -> "list[PendingTraversal]":
+        """Issue a burst of traversals in one call (the batch seam).
+
+        The primary submission path: systems with a batching front end
+        (pulse's doorbell batcher feeding the lockstep batch machine)
+        coalesce the whole burst; systems without one fall back to a
+        scalar loop over :meth:`submit`.
+        """
+        ...
+
     def traverse(self, iterator: Any, *args):
         """Process: run one traversal; returns a TraversalResult."""
         ...
@@ -127,6 +138,15 @@ class BaselineSystem:
         """
         process = self.env.process(self.traverse(iterator, *args))
         return PendingTraversal(self.env, process)
+
+    def submit_many(self, requests) -> list:
+        """Default scalar fallback: one independent process per request.
+
+        Baselines have no batching hardware, so a burst is just N
+        concurrent submissions starting at the same simulated instant.
+        """
+        return [self.submit(iterator, *args)
+                for iterator, args in requests]
 
     def traverse(self, iterator, *args):
         raise NotImplementedError  # each baseline implements its model

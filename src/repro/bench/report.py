@@ -76,6 +76,39 @@ SECTIONS: List[Tuple[str, str, str]] = [
 ]
 
 
+def write_snapshot(name: str, params: Dict, metrics: Dict,
+                   derived: Optional[Dict] = None,
+                   results_dir: Optional[Path] = None,
+                   filename: Optional[str] = None) -> Path:
+    """Write one bench snapshot JSON with the repo-wide stable schema.
+
+    Every benchmark that leaves a machine-readable artifact (CI uploads,
+    gate checks, cross-run diffs) goes through this helper, so all
+    snapshots share one shape::
+
+        {"name": ..., "params": {...}, "metrics": {...}, "derived": {...}}
+
+    ``params`` holds the knobs the run was configured with, ``metrics``
+    the raw measurements, and ``derived`` any computed summary figures
+    (speedups, percentile picks).  The default artifact name is
+    ``<name>_snapshot.json`` under ``benchmarks/results``; pass
+    ``filename`` for legacy artifact names CI already tracks (e.g.
+    ``BENCH_wallclock.json``).
+    """
+    directory = (Path(results_dir) if results_dir is not None
+                 else Path("benchmarks") / "results")
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": name,
+        "params": params,
+        "metrics": metrics,
+        "derived": derived if derived is not None else {},
+    }
+    path = directory / (filename if filename else f"{name}_snapshot.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def span_breakdown(snapshot: Dict) -> Dict[str, Dict[str, float]]:
     """Per-stage accelerator timing from one registry snapshot.
 

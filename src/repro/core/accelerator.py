@@ -26,13 +26,15 @@ re-routes (section 5).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.messages import (DIRECT_READ_KIND, DirectReadReply,
                                  DirectReadRequest, RequestStatus,
                                  TraversalBatch, TraversalRequest)
 from repro.core.scheduling import FairWorkspacePool, FifoWorkspacePool
-from repro.core.workspace import MachinePool
+from repro.core.workspace import BatchMachinePool, MachinePool
+from repro.isa.batchmachine import get_batch_plan, np, resolve_batch_lanes
 from repro.isa.instructions import ExecutionFault, wrap64
 from repro.isa.interpreter import IterationOutcome, IteratorMachine
 from repro.mem.node import MemoryNode
@@ -148,6 +150,7 @@ class AcceleratorCore:
         self.logic_pipeline = Resource(env, capacity=logic_pipelines)
         self.tlb: Optional[TranslationCache] = None
         self.workspace: Optional[MachinePool] = None
+        self.batch: Optional[BatchMachinePool] = None
 
 
 class Accelerator:
@@ -159,6 +162,7 @@ class Accelerator:
                  shared_interconnect: bool = True,
                  split_loads: bool = False,
                  scheduler_policy: str = "fifo",
+                 batch_lanes: Optional[int] = None,
                  tracer=None,
                  registry: Optional[MetricsRegistry] = None):
         self.env = env
@@ -230,6 +234,14 @@ class Accelerator:
         self._span_logic = registry.histogram(f"{prefix}.span.logic")
         self._m_batches = registry.counter(f"{prefix}.batches")
         self._batch_size_hist = registry.histogram(f"{prefix}.batch_size")
+        #: batch tier: lanes stepped per lockstep iteration, scalar-path
+        #: demotions, and lane groups formed from doorbell frames
+        self._batch_lanes_hist = registry.histogram(
+            f"{prefix}.batch.lanes_active")
+        self._m_batch_demotions = registry.counter(
+            f"{prefix}.batch.demotions")
+        self._m_batch_groups = registry.counter(f"{prefix}.batch.groups")
+        self._m_batch_steps = registry.counter(f"{prefix}.batch.steps")
         self._m_nacks = registry.counter(f"{prefix}.admission_nacks")
         self._m_moved = registry.counter(f"{prefix}.moved_replies")
         self._m_direct_reads = registry.counter(f"{prefix}.direct_reads")
@@ -253,6 +265,15 @@ class Accelerator:
         tlb_misses = registry.counter(f"{prefix}.tlb.misses")
         ws_reused = registry.counter(f"{prefix}.workspace.reused")
         ws_allocated = registry.counter(f"{prefix}.workspace.allocated")
+        #: effective SIMT width: PULSE_BATCH env over the configured
+        #: ``batch_lanes`` (0 = the scalar compiled tier; also forced
+        #: off when PULSE_INTERP selects the oracle or numpy is absent)
+        requested_lanes = (batch_lanes if batch_lanes is not None
+                           else acc.batch_lanes)
+        self.batch_lanes = resolve_batch_lanes(requested_lanes)
+        bm_reused = registry.counter(f"{prefix}.batch.machines_reused")
+        bm_allocated = registry.counter(
+            f"{prefix}.batch.machines_allocated")
         for core in self.cores:
             core.tlb = TranslationCache(
                 node.table, capacity=acc.tlb_entries_per_core,
@@ -260,6 +281,10 @@ class Accelerator:
             core.workspace = MachinePool(
                 capacity=acc.workspaces_per_core,
                 reused=ws_reused, allocated=ws_allocated)
+            if self.batch_lanes >= 2:
+                core.batch = BatchMachinePool(
+                    self.batch_lanes, reused=bm_reused,
+                    allocated=bm_allocated)
         registry.gauge(f"{prefix}.admission_queue_depth",
                        fn=lambda: float(self.workspaces.queue_length()))
         self.workspaces.attach_metrics(registry, prefix)
@@ -296,6 +321,7 @@ class Accelerator:
         else:
             requests = [payload]
 
+        admitted: List[TraversalRequest] = []
         for request in requests:
             self._m_requests.inc()
             yield from self._hold(self.scheduler_unit,
@@ -313,6 +339,42 @@ class Accelerator:
                                         0, RequestStatus.RETRY)
                 self.env.process(self._respond(nack))
                 continue
+            admitted.append(request)
+        self._dispatch_admitted(admitted)
+
+    def _dispatch_admitted(self, admitted: List[TraversalRequest]) -> None:
+        """Route admitted requests to the batch or scalar tier.
+
+        Requests from one doorbell frame sharing a kernel (same program
+        digest, with a supported lane plan) run as one lockstep lane
+        group on a single core; everything else -- batch tier off,
+        unsupported programs, oversized initial scratch (a reset fault
+        the scalar path reports exactly), or groups of one -- takes the
+        per-request scalar path unchanged.
+        """
+        lanes = self.batch_lanes
+        if lanes < 2 or len(admitted) < 2:
+            for request in admitted:
+                self.env.process(self._serve(request))
+            return
+        singles: List[TraversalRequest] = []
+        groups: dict = {}
+        for request in admitted:
+            plan = get_batch_plan(request.program)
+            if (plan is None or not plan.supported
+                    or len(request.scratch) > plan.scratch_bytes):
+                singles.append(request)
+                continue
+            groups.setdefault(request.program.digest(), []).append(request)
+        for group in groups.values():
+            for start in range(0, len(group), lanes):
+                chunk = group[start:start + lanes]
+                if len(chunk) < 2:
+                    singles.extend(chunk)
+                    continue
+                self._m_batch_groups.inc()
+                self.env.process(self._serve_batch(chunk))
+        for request in singles:
             self.env.process(self._serve(request))
 
     def _serve_direct_read(self, request: DirectReadRequest):
@@ -391,6 +453,20 @@ class Accelerator:
                            status=response.status.value)
         yield from self._respond(response)
 
+    def _serve_batch(self, requests: List[TraversalRequest]):
+        """One lane group's life: a single workspace grant, then lockstep.
+
+        The group occupies one core like one scalar request would (the
+        lane-major machine *is* the workspace); retired lanes respond
+        individually as they halt, fault, or demote.
+        """
+        core_id = yield self.workspaces.acquire(requests[0].tenant)
+        core = self.cores[core_id]
+        try:
+            yield from self._execute_batch(core, requests)
+        finally:
+            self.workspaces.release(core_id)
+
     def _respond(self, response: TraversalRequest):
         """Deparse and transmit one response (responses never batch)."""
         acc = self.params.accelerator
@@ -437,8 +513,9 @@ class Accelerator:
             # walk on range-local iterations (the common case).
             entry = core.tlb.lookup(load_addr, window_size)
             if entry is None:
-                return self._miss_response(machine, request, iterations,
-                                           load_addr)
+                return self._miss_response(machine.cur_ptr,
+                                           bytes(machine.scratch),
+                                           request, iterations, load_addr)
             if self.hotness is not None:
                 self.hotness.sample(load_addr)
 
@@ -469,8 +546,9 @@ class Accelerator:
             # never reads through a stale translation.
             entry = core.tlb.revalidate(entry, load_addr, window_size)
             if entry is None:
-                return self._miss_response(machine, request, iterations,
-                                           load_addr)
+                return self._miss_response(machine.cur_ptr,
+                                           bytes(machine.scratch),
+                                           request, iterations, load_addr)
 
             try:
                 step = machine.run_iteration(
@@ -506,7 +584,188 @@ class Accelerator:
                     machine.cur_ptr, bytes(machine.scratch), iterations,
                     RequestStatus.ITER_LIMIT)
 
-    def _miss_response(self, machine: IteratorMachine,
+    def _execute_batch(self, core: AcceleratorCore,
+                       requests: List[TraversalRequest]):
+        """Step a lane group in lockstep through one compiled kernel.
+
+        Per lockstep iteration: one *vectorized* translation + TLB probe
+        over every active lane, one gathered DRAM read for all the
+        record windows, then one linear sweep of the program body with
+        numpy ops over the lane subsets.  Lanes retire individually --
+        DONE and ITER_LIMIT respond directly; translation misses take
+        the scalar miss classification (reroute / MOVED / fault); lanes
+        the vector tier demotes (div-by-zero, indirect out-of-bounds,
+        statically faulting ops) roll back to their pre-iteration state
+        and re-run that iteration on the scalar path for exact fault
+        semantics.
+        """
+        acc = self.params.accelerator
+        program = requests[0].program
+        plan = get_batch_plan(program)
+        window_size = plan.window_size
+        instruction_ns = acc.instruction_ns
+        table = core.tlb.table
+        machine = core.batch.acquire(program, plan)
+        try:
+            lane_iters = np.zeros(len(requests), dtype=np.int64)
+            iters_done = np.fromiter(
+                (request.iterations_done for request in requests),
+                dtype=np.int64, count=len(requests))
+            for lane, request in enumerate(requests):
+                machine.seed(lane, request.cur_ptr, request.scratch)
+            active = list(range(len(requests)))
+            while active:
+                self._batch_lanes_hist.record(len(active))
+                self._m_batch_steps.inc()
+                addrs = machine.load_addresses(active)
+                entries = core.tlb.lookup_many(addrs, window_size)
+                if None in entries:
+                    lanes, held, kept = [], [], []
+                    for index, entry in enumerate(entries):
+                        if entry is None:
+                            # lane leaves the batch with the scalar miss
+                            # classification (reroute / MOVED / fault)
+                            lane = active[index]
+                            self._m_batch_demotions.inc()
+                            self._finish_lane(
+                                core, requests[lane],
+                                self._miss_response(
+                                    machine.lane_cur_ptr(lane),
+                                    machine.lane_scratch(lane),
+                                    requests[lane],
+                                    int(lane_iters[lane]),
+                                    int(addrs[index])))
+                        else:
+                            lanes.append(active[index])
+                            held.append(entry)
+                            kept.append(index)
+                    if not lanes:
+                        break
+                    addrs = addrs[kept]
+                else:
+                    lanes, held = active, entries
+                if self.hotness is not None:
+                    self.hotness.sample_many(addrs)
+                version = table.version
+
+                # Memory phase: the gathered LOAD holds the pipeline and
+                # interconnect for all lanes' bytes but pays the DRAM
+                # latency tail once -- the whole point of batching.
+                width = len(lanes)
+                occupancy = width * acc.occupancy_ns(window_size)
+                yield from self._hold(core.memory_pipeline, occupancy)
+                interconnect_ns = 0.0
+                if self.interconnect is not None:
+                    interconnect_ns = (width * window_size
+                                       / self.node_bandwidth)
+                    yield from self._hold(self.interconnect,
+                                          interconnect_ns)
+                yield self.env.timeout(acc.dram_latency_ns)
+                self._span_memory.record(occupancy + interconnect_ns
+                                         + acc.dram_latency_ns)
+
+                if table.version != version:
+                    # A migration fence remapped the table while we
+                    # waited: revalidate each held entry and classify
+                    # lanes whose mapping is gone via the miss path.
+                    survivors, paddrs = [], []
+                    for index, lane in enumerate(lanes):
+                        addr = int(addrs[index])
+                        fresh = core.tlb.revalidate(held[index], addr,
+                                                    window_size)
+                        if fresh is None:
+                            self._m_batch_demotions.inc()
+                            self._finish_lane(
+                                core, requests[lane],
+                                self._miss_response(
+                                    machine.lane_cur_ptr(lane),
+                                    machine.lane_scratch(lane),
+                                    requests[lane],
+                                    int(lane_iters[lane]), addr))
+                        else:
+                            survivors.append(lane)
+                            paddrs.append(fresh.translate(addr))
+                    lanes = survivors
+                    if not lanes:
+                        break
+                else:
+                    # Fast path: the table did not move, so every held
+                    # entry is still authoritative (what revalidate
+                    # would conclude lane by lane).
+                    paddrs = (addrs.view(np.int64)
+                              + np.fromiter(
+                                  (e.phys_start - e.virt_start
+                                   for e in held),
+                                  dtype=np.int64, count=width))
+                rows = self.node.memory.gather_rows(paddrs, window_size)
+                done, cont, demoted = machine.run_logic(lanes, rows)
+
+                # Logic phase: the pipelines are occupied for the summed
+                # instruction work / depth; the lockstep group then waits
+                # out the slowest lane's latency (the SIMT convoy).
+                finished = (np.concatenate((done, cont))
+                            if done.size and cont.size
+                            else (done if done.size else cont))
+                if finished.size:
+                    lane_iters[finished] += 1
+                    executed = machine.step_instr[finished]
+                    lane_ns = (executed - 1) * instruction_ns
+                    logic_sum = float(lane_ns.sum())
+                    self._m_iterations.inc(finished.size)
+                    self._m_bytes.inc(finished.size * window_size)
+                    self._m_instructions.inc(int(executed.sum()))
+                    occupancy = logic_sum / acc.logic_pipeline_depth
+                    yield from self._hold(core.logic_pipeline, occupancy)
+                    yield self.env.timeout(
+                        max(0.0, float(lane_ns.max()) - occupancy))
+                    self._span_logic.record(logic_sum)
+
+                for lane in map(int, done):
+                    request = requests[lane]
+                    self._finish_lane(core, request, request.advanced(
+                        machine.lane_cur_ptr(lane),
+                        machine.lane_scratch(lane),
+                        int(lane_iters[lane]), RequestStatus.DONE))
+                if cont.size:
+                    limited = (iters_done[cont] + lane_iters[cont]
+                               >= acc.max_iterations)
+                    for lane in map(int, cont[limited]):
+                        request = requests[lane]
+                        self._finish_lane(core, request, request.advanced(
+                            machine.lane_cur_ptr(lane),
+                            machine.lane_scratch(lane),
+                            int(lane_iters[lane]),
+                            RequestStatus.ITER_LIMIT))
+                    active = cont[~limited].tolist()
+                else:
+                    active = []
+                for lane in map(int, demoted):
+                    # Rolled back to the pre-iteration state; the scalar
+                    # path re-runs the iteration with exact semantics.
+                    self._m_batch_demotions.inc()
+                    request = requests[lane]
+                    resumed = replace(
+                        request,
+                        cur_ptr=machine.lane_cur_ptr(lane),
+                        scratch=machine.lane_scratch(lane),
+                        iterations_done=(request.iterations_done
+                                         + int(lane_iters[lane])))
+                    self.env.process(self._serve(resumed))
+        finally:
+            core.batch.release(machine)
+
+    def _finish_lane(self, core: AcceleratorCore,
+                     request: TraversalRequest,
+                     response: TraversalRequest) -> None:
+        """Trace + transmit one retired lane (tx_unit serializes)."""
+        self.tracer.record(self.name, "execute", request.request_id,
+                           core=core.core_id,
+                           iterations=(response.iterations_done
+                                       - request.iterations_done),
+                           status=response.status.value)
+        self.env.process(self._respond(response))
+
+    def _miss_response(self, cur_ptr: int, scratch: bytes,
                        request: TraversalRequest, iterations: int,
                        load_addr: int) -> TraversalRequest:
         """Translation miss: re-route, redirect (migrated), or fault.
@@ -535,13 +794,13 @@ class Accelerator:
             if live_owner is not None and live_owner != self.node.node_id:
                 self._m_rerouted.inc()
                 response = request.advanced(
-                    machine.cur_ptr, bytes(machine.scratch), iterations,
+                    cur_ptr, scratch, iterations,
                     RequestStatus.RUNNING)
                 response.node_hops = request.node_hops + 1
                 return response
             self._m_faults.inc()
             return request.advanced(
-                machine.cur_ptr, bytes(machine.scratch), iterations,
+                cur_ptr, scratch, iterations,
                 RequestStatus.FAULT,
                 f"invalid pointer {load_addr:#x}: unmapped on its live "
                 f"owner")
@@ -553,13 +812,13 @@ class Accelerator:
         if moved:
             self._m_moved.inc()
             response = request.advanced(
-                machine.cur_ptr, bytes(machine.scratch), iterations,
+                cur_ptr, scratch, iterations,
                 RequestStatus.MOVED)
             response.node_hops = request.node_hops + 1
             return response
         self._m_faults.inc()
         return request.advanced(
-            machine.cur_ptr, bytes(machine.scratch), iterations,
+            cur_ptr, scratch, iterations,
             RequestStatus.FAULT,
             f"invalid pointer {load_addr:#x}")
 

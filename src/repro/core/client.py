@@ -276,6 +276,19 @@ class PulseClient:
         process = self.env.process(self._run_traversal(iterator, args))
         return PendingTraversal(self.env, process)
 
+    def submit_many(self, requests) -> list:
+        """Issue a burst of traversals in one call (the batch seam).
+
+        Each ``(iterator, args)`` pair becomes its own traversal
+        process, all created at the same simulated instant -- so the
+        burst coalesces in this client's doorbell batcher into
+        multi-request frames, which the accelerator's batch machine
+        steps in lockstep.  Returns one :class:`PendingTraversal` per
+        request, in order.
+        """
+        return [self.submit(iterator, *args)
+                for iterator, args in requests]
+
     def traverse(self, iterator: PulseIterator, *args):
         """Process: run one traversal; returns a TraversalResult.
 

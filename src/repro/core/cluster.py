@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.driver import WorkloadStats, run_workload
-from repro.compat import warn_once
 from repro.core.accelerator import Accelerator
 from repro.core.client import PendingTraversal, PulseClient
 from repro.core.iterator import PulseIterator, TraversalResult
@@ -48,6 +47,7 @@ class PulseCluster:
                  shared_interconnect: bool = True,
                  split_loads: bool = False,
                  scheduler_policy: str = "fifo",
+                 batch_lanes: Optional[int] = None,
                  tcam_capacity: int = 1024,
                  client_count: int = 1,
                  client_table_capacity: Optional[int] = None,
@@ -89,7 +89,8 @@ class PulseCluster:
         self._acc_options = dict(cores=cores_per_accelerator,
                                  shared_interconnect=shared_interconnect,
                                  split_loads=split_loads,
-                                 scheduler_policy=scheduler_policy)
+                                 scheduler_policy=scheduler_policy,
+                                 batch_lanes=batch_lanes)
         self.accelerators: List[Accelerator] = [
             Accelerator(self.env, node, self.fabric, self.params,
                         tracer=self.tracer,
@@ -131,23 +132,6 @@ class PulseCluster:
             for i in range(client_count)
         ]
         self._next_client = 0
-
-    # -- deprecated single-client accessors --------------------------------------
-    @property
-    def engine(self) -> OffloadEngine:
-        """Deprecated: use ``cluster.engines[0]``."""
-        warn_once(
-            "PulseCluster.engine",
-            "PulseCluster.engine is deprecated; use cluster.engines[0]")
-        return self.engines[0]
-
-    @property
-    def client(self) -> PulseClient:
-        """Deprecated: use ``cluster.clients[0]``."""
-        warn_once(
-            "PulseCluster.client",
-            "PulseCluster.client is deprecated; use cluster.clients[0]")
-        return self.clients[0]
 
     @property
     def node_count(self) -> int:
@@ -230,6 +214,21 @@ class PulseCluster:
         clients (and their doorbell batchers).
         """
         return self._pick_client().submit(iterator, *args)
+
+    def submit_many(self, requests: Sequence[Tuple[PulseIterator, tuple]]
+                    ) -> List[PendingTraversal]:
+        """Issue a burst of traversals; the batch-first primary seam.
+
+        The whole burst lands on *one* client (round-robin advances per
+        burst, not per request) so the submissions coalesce in that
+        client's doorbell batcher and arrive at the accelerators as
+        multi-request frames -- the unit the batch machine steps in
+        lockstep.  Scalar :meth:`submit` remains the one-off fallback.
+        """
+        if not requests:
+            return []
+        client = self._pick_client()
+        return client.submit_many(requests)
 
     def traverse(self, iterator: PulseIterator, *args):
         """Generator interface used by the workload driver.

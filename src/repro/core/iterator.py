@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.compat import warn_once
 from repro.isa.program import Program
 
 
@@ -48,10 +47,7 @@ class TraversalResult:
     """What the client hands back to the application.
 
     Fault state is a structured :class:`FaultInfo` under ``fault``
-    (``None`` on success); ``ok`` is the success predicate.  The former
-    ``faulted``/``fault_reason`` field pair is kept as deprecated
-    read-only compatibility properties (and as constructor keywords for
-    older callers), derived from ``fault``.
+    (``None`` on success); ``ok`` is the success predicate.
     """
 
     __slots__ = ("value", "iterations", "latency_ns", "offloaded",
@@ -59,15 +55,7 @@ class TraversalResult:
 
     def __init__(self, value: Any, iterations: int,
                  latency_ns: float = 0.0, offloaded: bool = True,
-                 hops: int = 0, fault: Optional[FaultInfo] = None,
-                 faulted: bool = False, fault_reason: str = ""):
-        if fault is None and (faulted or fault_reason):
-            # Legacy constructor keywords: promote to the structured form.
-            warn_once(
-                "TraversalResult.legacy_ctor",
-                "TraversalResult(faulted=..., fault_reason=...) is "
-                "deprecated; pass fault=FaultInfo(...)")
-            fault = FaultInfo(reason=fault_reason or "unspecified fault")
+                 hops: int = 0, fault: Optional[FaultInfo] = None):
         self.value = value
         self.iterations = iterations
         self.latency_ns = latency_ns
@@ -79,23 +67,6 @@ class TraversalResult:
     def ok(self) -> bool:
         """True when the traversal completed without a fault."""
         return self.fault is None
-
-    # -- deprecated compatibility properties ---------------------------------
-    @property
-    def faulted(self) -> bool:
-        """Deprecated: use ``not result.ok`` / ``result.fault``."""
-        warn_once("TraversalResult.faulted",
-                  "TraversalResult.faulted is deprecated; use "
-                  "'not result.ok' or 'result.fault is not None'")
-        return self.fault is not None
-
-    @property
-    def fault_reason(self) -> str:
-        """Deprecated: use ``result.fault.reason``."""
-        warn_once("TraversalResult.fault_reason",
-                  "TraversalResult.fault_reason is deprecated; use "
-                  "result.fault.reason")
-        return self.fault.reason if self.fault is not None else ""
 
     def __repr__(self) -> str:
         return (f"TraversalResult(value={self.value!r}, "

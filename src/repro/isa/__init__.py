@@ -29,6 +29,13 @@ from repro.isa.compiler import (
     compile_program,
     interpreter_forced,
 )
+from repro.isa.batchmachine import (
+    BatchMachine,
+    BatchPlan,
+    batch_supported,
+    get_batch_plan,
+    resolve_batch_lanes,
+)
 from repro.isa.interpreter import (
     IterationOutcome,
     IteratorMachine,
@@ -38,6 +45,8 @@ from repro.isa.analysis import ProgramAnalysis, analyze
 
 __all__ = [
     "ALU_OPCODES",
+    "BatchMachine",
+    "BatchPlan",
     "CONDITIONS",
     "CompiledProgram",
     "ExecutionFault",
@@ -52,12 +61,15 @@ __all__ = [
     "StepResult",
     "analyze",
     "assemble",
+    "batch_supported",
     "compile_program",
     "cur_ptr",
     "data",
     "disassemble",
+    "get_batch_plan",
     "imm",
     "interpreter_forced",
     "reg",
+    "resolve_batch_lanes",
     "sp",
 ]

@@ -94,6 +94,24 @@ class HotnessTracker:
         self._countdown = self._draw_skip()
         self.record(vaddr, weight=float(self.sample_period))
 
+    def sample_many(self, vaddrs) -> None:
+        """Advance the geometric-skip countdown across a whole batch.
+
+        Exactly equivalent to calling :meth:`sample` once per address in
+        order (same skips from the same RNG stream), but O(samples
+        taken) instead of O(addresses) -- the batch tier touches one
+        lane-address vector per lockstep LOAD.
+        """
+        remaining = len(vaddrs)
+        position = 0
+        while 0 < self._countdown <= remaining:
+            position += self._countdown
+            remaining -= self._countdown
+            self._countdown = self._draw_skip()
+            self.record(int(vaddrs[position - 1]),
+                        weight=float(self.sample_period))
+        self._countdown -= remaining
+
     def record(self, vaddr: int, weight: float = 1.0) -> None:
         """Unconditionally add ``weight`` accesses to vaddr's segment."""
         now = self.clock()

@@ -1,0 +1,333 @@
+"""Differential tests: the lockstep batch tier against the oracles.
+
+Two layers, mirroring ``test_compiler_differential.py``:
+
+* **Unit**: :class:`~repro.isa.batchmachine.BatchMachine` stepping many
+  lanes of one kernel over a flat byte image must produce, per lane,
+  exactly the interpreter's ``cur_ptr``/scratch/iteration state --
+  including lanes it *demotes* (div-by-zero, indirect out-of-bounds),
+  which must roll back to their pre-iteration state so the scalar
+  re-run faults with the exact interpreter message.
+* **End to end**: one doorbell burst mixing chains, a B+Tree, and a
+  skip list at mixed depths -- with a corrupted pointer faulting some
+  lanes mid-batch -- must return byte-identical values and identical
+  fault classifications across all three execution tiers: interpreter
+  (``PULSE_INTERP=1``), scalar compiled (``PULSE_BATCH=0``), and the
+  vectorized batch machine (``PULSE_BATCH=16/32``).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import PulseCluster
+from repro.isa import IteratorMachine, assemble
+from repro.isa.batchmachine import (BatchMachine, batch_supported,
+                                    get_batch_plan, resolve_batch_lanes)
+from repro.isa.interpreter import ExecutionFault
+from repro.structures import BPlusTree, LinkedList, SkipList
+
+# -- unit layer: BatchMachine vs the interpreter ------------------------------
+
+NODE_STRIDE = 24
+RING_BASE = 4096
+RING_NODES = 64
+
+WALK_ASM = """
+.name batchdiff_walk
+.scratch 16
+    LOAD 0 24
+    SUB sp[0] sp[0] #1
+    MOVE sp[8] data[8]
+    COMPARE sp[0] #0
+    JUMP_LE done
+    MOVE cur_ptr data[16]:8u
+    NEXT_ITER
+done:
+    RETURN
+"""
+
+DIV_ASM = """
+.name batchdiff_div
+.scratch 24
+    LOAD 0 24
+    MOVE r0 data[0]
+    DIV r1 r0 sp[0]
+    MOVE sp[8] r1
+    COMPARE r1 #0
+    JUMP_GE pos
+    MOVE sp[16] #1
+pos:
+    RETURN
+"""
+
+IND_ASM = """
+.name batchdiff_ind
+.scratch 32
+    LOAD 0 24
+    MOVE r2 sp[0]
+    MOVE sp[r2]:4 data[8]:4
+    ADD r2 r2 #4
+    MOVE sp[0] r2
+    COMPARE r2 #24
+    JUMP_GE done
+    MOVE cur_ptr data[16]:8u
+    NEXT_ITER
+done:
+    RETURN
+"""
+
+
+def build_image() -> bytes:
+    """A ring of list nodes; keys include "negative" 64-bit patterns."""
+    image = bytearray(RING_BASE + RING_NODES * NODE_STRIDE)
+    for i in range(RING_NODES):
+        base = RING_BASE + i * NODE_STRIDE
+        nxt = RING_BASE + ((i + 1) % RING_NODES) * NODE_STRIDE
+        key = (i - 5) % (1 << 64)
+        image[base:base + 8] = key.to_bytes(8, "little")
+        image[base + 8:base + 16] = (i * 7).to_bytes(8, "little")
+        image[base + 16:base + 24] = nxt.to_bytes(8, "little")
+    return bytes(image)
+
+
+IMAGE = build_image()
+FLAT = np.frombuffer(IMAGE, dtype=np.uint8)
+
+
+def scalar_run(program, cur_ptr, scratch, max_iters=100):
+    """Interpreter oracle: (cur_ptr, scratch, iterations, fault)."""
+    machine = IteratorMachine(program, compiled=False)
+    machine.reset(cur_ptr, scratch)
+
+    def read_fn(addr, size):
+        return IMAGE[addr:addr + size]
+
+    iters = 0
+    fault = None
+    try:
+        while iters < max_iters:
+            out = machine.run_iteration(read_fn)
+            iters += 1
+            if out.outcome.value == "done":
+                break
+    except ExecutionFault as exc:
+        fault = str(exc)
+    return machine.cur_ptr, bytes(machine.scratch), iters, fault
+
+
+def batch_run(program, seeds, max_iters=100):
+    """Lockstep all lanes to retirement; returns per-lane state dicts.
+
+    Each entry is ``(status, cur_ptr, scratch, iterations)`` where
+    status is ``done`` or ``demoted`` (state rolled back to the start
+    of the faulting iteration).
+    """
+    plan = get_batch_plan(program)
+    assert plan is not None and plan.supported, plan.reason
+    machine = BatchMachine(program, plan, len(seeds))
+    for lane, (cur_ptr, scratch) in enumerate(seeds):
+        machine.seed(lane, cur_ptr, scratch)
+    state = {}
+    active = np.arange(len(seeds))
+    iters = np.zeros(len(seeds), dtype=int)
+    for _ in range(max_iters):
+        if active.size == 0:
+            break
+        addrs = machine.load_addresses(active)
+        width = plan.window_size
+        rows = FLAT[np.asarray(addrs, dtype=np.int64)[:, None]
+                    + np.arange(width)]
+        done, cont, demoted = machine.run_logic(active, rows)
+        iters[done] += 1
+        iters[cont] += 1
+        for lane in map(int, done):
+            state[lane] = ("done", machine.lane_cur_ptr(lane),
+                           machine.lane_scratch(lane), int(iters[lane]))
+        for lane in map(int, demoted):
+            state[lane] = ("demoted", machine.lane_cur_ptr(lane),
+                           machine.lane_scratch(lane), int(iters[lane]))
+        active = cont
+    return state
+
+
+def test_lockstep_walk_matches_interpreter_lane_by_lane():
+    """Mixed-depth ring walks: every lane retires bit-exact."""
+    program = assemble(WALK_ASM)
+    seeds = [(RING_BASE + (lane % RING_NODES) * NODE_STRIDE,
+              (1 + 3 * lane).to_bytes(8, "little"))
+             for lane in range(16)]
+    state = batch_run(program, seeds)
+    for lane, (cur_ptr, scratch) in enumerate(seeds):
+        ref_ptr, ref_scratch, ref_iters, fault = scalar_run(
+            program, cur_ptr, scratch)
+        assert fault is None
+        status, got_ptr, got_scratch, got_iters = state[lane]
+        assert status == "done"
+        assert (got_ptr, got_scratch, got_iters) == \
+               (ref_ptr, ref_scratch, ref_iters), f"lane {lane}"
+
+
+def test_div_by_zero_demotes_only_the_faulting_lane():
+    """The zero-divisor lane rolls back; its scalar re-run faults
+    with the interpreter's exact message; all other lanes retire."""
+    program = assemble(DIV_ASM)
+    seeds = []
+    for lane in range(11):
+        divisor = 0 if lane == 4 else (lane - 5 or 7)
+        seeds.append((RING_BASE + lane * NODE_STRIDE,
+                      (divisor % (1 << 64)).to_bytes(8, "little")))
+    state = batch_run(program, seeds)
+    for lane, (cur_ptr, scratch) in enumerate(seeds):
+        status, got_ptr, got_scratch, _iters = state[lane]
+        if lane == 4:
+            assert status == "demoted"
+            # Rolled back: re-running scalar from the demoted state
+            # reproduces the interpreter fault exactly.
+            _p, _s, _i, fault = scalar_run(program, got_ptr,
+                                           got_scratch[:8])
+            assert fault == "division by zero"
+        else:
+            ref_ptr, ref_scratch, _ri, fault = scalar_run(
+                program, cur_ptr, scratch)
+            assert fault is None
+            assert status == "done"
+            assert (got_ptr, got_scratch) == (ref_ptr, ref_scratch)
+
+
+def test_indirect_scratch_cursor_matches_interpreter():
+    """SP_IND reads/writes through a moving cursor stay bit-exact."""
+    program = assemble(IND_ASM)
+    seeds = [(RING_BASE + (lane * 3 % RING_NODES) * NODE_STRIDE,
+              (8).to_bytes(8, "little")) for lane in range(10)]
+    state = batch_run(program, seeds)
+    for lane, (cur_ptr, scratch) in enumerate(seeds):
+        ref = scalar_run(program, cur_ptr, scratch)
+        status, got_ptr, got_scratch, got_iters = state[lane]
+        assert status == "done"
+        assert (got_ptr, got_scratch, got_iters) == ref[:3]
+
+
+def test_store_kernels_stay_on_the_scalar_tier():
+    """STORE has side effects outside the lane state: never batched."""
+    program = assemble("LOAD 0 16\nSTORE 8 sp[0]\nRETURN")
+    plan = get_batch_plan(program)
+    assert not plan.supported
+    assert "STORE" in plan.reason
+    assert not batch_supported(program)
+
+
+def test_resolve_batch_lanes_env_and_interp_gates(monkeypatch):
+    monkeypatch.delenv("PULSE_BATCH", raising=False)
+    monkeypatch.delenv("PULSE_INTERP", raising=False)
+    assert resolve_batch_lanes(32) == 32
+    monkeypatch.setenv("PULSE_BATCH", "16")
+    assert resolve_batch_lanes(32) == 16
+    monkeypatch.setenv("PULSE_BATCH", "0")
+    assert resolve_batch_lanes(32) == 0
+    monkeypatch.setenv("PULSE_BATCH", "1")
+    assert resolve_batch_lanes(32) == 0      # one lane is scalar
+    monkeypatch.delenv("PULSE_BATCH")
+    monkeypatch.setenv("PULSE_INTERP", "1")  # oracle mode: no batching
+    assert resolve_batch_lanes(32) == 0
+
+
+# -- end-to-end layer: mixed-structure bursts across all three tiers ----------
+
+CHAIN_KEYS = 48
+TREE_KEYS = 300
+SKIP_KEYS = range(1, 120, 2)
+#: chain position whose node gets a corrupted next pointer; lookups of
+#: deeper keys fault mid-batch while shallower lanes keep running
+CORRUPT_DEPTH = 24
+
+
+def build_world(seed=5):
+    """One rack + a mixed-structure, mixed-depth operation burst."""
+    cluster = PulseCluster(node_count=2, batch_size=32, seed=seed)
+    chain = LinkedList(cluster.memory)
+    for key in range(CHAIN_KEYS):
+        chain.append(key, key * 7)
+    tree = BPlusTree(cluster.memory, fanout=8)
+    tree.bulk_load([(k * 2, k * 11) for k in range(TREE_KEYS)])
+    skip = SkipList(cluster.memory, levels=4, seed=7)
+    for key in SKIP_KEYS:
+        skip.insert(key, key * 5)
+
+    # Corrupt the next pointer at CORRUPT_DEPTH: traversals that walk
+    # past it hit an unmapped address and fault mid-batch.
+    addr = chain.head
+    for _ in range(CORRUPT_DEPTH):
+        addr = int.from_bytes(cluster.memory.read(addr + 16, 8),
+                              "little")
+    node = cluster.memory.read(addr, 24)
+    cluster.memory.write(addr, node[:16]
+                         + (0xDEAD_BEEF_0000).to_bytes(8, "little"))
+
+    operations = []
+    for i in range(24):
+        operations.append(
+            (chain.find_iterator(), ((i * 5) % CHAIN_KEYS,)))
+    for i in range(20):
+        operations.append(
+            (tree.lookup_iterator(), (i * 37 % (2 * TREE_KEYS),)))
+    for i in range(20):
+        operations.append(
+            (skip.find_iterator(), (1 + (i * 13) % 120,)))
+    return cluster, operations
+
+
+def run_tier(monkeypatch, interp: bool, batch: int):
+    monkeypatch.setenv("PULSE_INTERP", "1" if interp else "0")
+    monkeypatch.setenv("PULSE_BATCH", str(batch))
+    cluster, operations = build_world()
+    pendings = cluster.submit_many(operations)
+    cluster.env.run()
+    outcomes = []
+    for pending in pendings:
+        result = pending.result
+        outcomes.append((
+            result.ok,
+            result.value,
+            result.iterations,
+            result.fault.kind if result.fault else None,
+            result.fault.reason if result.fault else None,
+        ))
+    snapshot = cluster.metrics_snapshot()
+    return outcomes, snapshot
+
+
+@pytest.mark.parametrize("lanes", [16, 32])
+def test_mixed_structure_burst_three_tier_parity(monkeypatch, lanes):
+    interp, _ = run_tier(monkeypatch, interp=True, batch=0)
+    scalar, scalar_snap = run_tier(monkeypatch, interp=False, batch=0)
+    batch, batch_snap = run_tier(monkeypatch, interp=False, batch=lanes)
+
+    assert interp == scalar
+    assert scalar == batch
+
+    # Some lanes really faulted mid-batch (the corrupted chain tail),
+    # and plenty completed -- the burst genuinely mixed outcomes.
+    faulted = [o for o in batch if not o[0]]
+    assert faulted, "corruption should fault the deep chain lookups"
+    assert all(kind == "remote" for *_a, kind, _r in faulted)
+    assert sum(1 for o in batch if o[0]) > len(faulted)
+
+    # The batch tier actually ran vectorized (and the scalar run not).
+    def batch_steps(snapshot):
+        return sum(v for k, v in snapshot["counters"].items()
+                   if k.endswith(".batch.steps"))
+    assert batch_steps(batch_snap) > 0
+    assert batch_steps(scalar_snap) == 0
+
+
+def test_batch_tier_default_on_matches_scalar(monkeypatch):
+    """No env overrides: the params default (32 lanes) stays correct."""
+    monkeypatch.delenv("PULSE_INTERP", raising=False)
+    monkeypatch.delenv("PULSE_BATCH", raising=False)
+    cluster, operations = build_world()
+    pendings = cluster.submit_many(operations)
+    cluster.env.run()
+    defaults = [(p.result.ok, p.result.value) for p in pendings]
+    scalar, _ = run_tier(monkeypatch, interp=False, batch=0)
+    assert defaults == [(ok, value) for ok, value, *_ in scalar]

@@ -1,4 +1,4 @@
-"""The deprecation shims must warn exactly once and keep working."""
+"""The warn-once machinery, and that removed shims stay removed."""
 
 import warnings
 
@@ -6,7 +6,7 @@ import pytest
 
 from repro.compat import reset_warnings, warn_once
 from repro.core import PulseCluster
-from repro.core.iterator import FaultInfo, TraversalResult
+from repro.core.iterator import TraversalResult
 
 
 @pytest.fixture(autouse=True)
@@ -44,62 +44,26 @@ class TestWarnOnce:
             warn_once("test.b", "b is deprecated")  # still armed-off
 
 
-class TestClusterShims:
-    def test_engine_property_warns_once_and_returns_first_engine(self):
+class TestShimsRemoved:
+    """The PR-2/PR-4 deprecation shims completed their cycle and are gone."""
+
+    def test_cluster_singular_accessors_are_gone(self):
         cluster = PulseCluster(node_count=1, client_count=2)
-        with pytest.warns(DeprecationWarning, match="engines\\[0\\]"):
-            engine = cluster.engine
-        assert engine is cluster.engines[0]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert cluster.engine is cluster.engines[0]
+        with pytest.raises(AttributeError):
+            cluster.engine
+        with pytest.raises(AttributeError):
+            cluster.client
+        assert cluster.engines and cluster.clients  # plural API remains
 
-    def test_client_property_warns_once_and_returns_first_client(self):
-        cluster = PulseCluster(node_count=1, client_count=2)
-        with pytest.warns(DeprecationWarning, match="clients\\[0\\]"):
-            client = cluster.client
-        assert client is cluster.clients[0]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert cluster.client is cluster.clients[0]
-
-
-class TestTraversalResultShims:
-    def ok_result(self):
-        return TraversalResult(value=b"v", iterations=3)
-
-    def bad_result(self):
-        return TraversalResult(value=None, iterations=1,
-                               fault=FaultInfo(reason="bad pointer",
-                                               kind="translation"))
-
-    def test_faulted_warns_once_and_mirrors_fault(self):
-        with pytest.warns(DeprecationWarning, match="faulted"):
-            assert self.bad_result().faulted is True
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert self.ok_result().faulted is False
-
-    def test_fault_reason_warns_once_and_mirrors_fault(self):
-        with pytest.warns(DeprecationWarning, match="fault_reason"):
-            assert self.bad_result().fault_reason == "bad pointer"
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert self.ok_result().fault_reason == ""
-
-    def test_legacy_ctor_warns_once_and_promotes_to_fault(self):
-        with pytest.warns(DeprecationWarning, match="FaultInfo"):
-            result = TraversalResult(value=None, iterations=0,
-                                     faulted=True,
-                                     fault_reason="legacy reason")
-        assert result.fault is not None
-        assert result.fault.reason == "legacy reason"
-        assert not result.ok
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            second = TraversalResult(value=None, iterations=0,
-                                     faulted=True, fault_reason="again")
-        assert second.fault.reason == "again"
+    def test_traversal_result_legacy_surface_is_gone(self):
+        result = TraversalResult(value=b"v", iterations=3)
+        with pytest.raises(AttributeError):
+            result.faulted
+        with pytest.raises(AttributeError):
+            result.fault_reason
+        with pytest.raises(TypeError):
+            TraversalResult(value=None, iterations=0,
+                            faulted=True, fault_reason="legacy")
 
     def test_structured_ctor_never_warns(self):
         with warnings.catch_warnings():

@@ -19,6 +19,7 @@ QUICK_EXAMPLES = [
     "distributed_traversal.py",
     "trace_timeline.py",
     "submit_pipeline.py",
+    "batch_machine.py",
     "scale_out.py",
     "split_index.py",
 ]

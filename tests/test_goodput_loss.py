@@ -14,6 +14,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench.report import write_snapshot
 from repro.core import PulseCluster
 from repro.core.client import RequestLost
 from repro.params import SystemParams, TransportParams
@@ -139,8 +140,9 @@ class TestLossSweep:
         assert all(r["ok"] for r in rows)
         # Latency should not explode across the sweep: bounded recovery.
         assert rows[-1]["latency_ns"] < 50 * rows[0]["latency_ns"]
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        out = RESULTS_DIR / "goodput_loss_snapshot.json"
-        out.write_text(json.dumps({"hops": self.HOPS, "rows": rows},
-                                  indent=2) + "\n")
-        assert json.loads(out.read_text())["rows"]
+        out = write_snapshot("goodput_loss",
+                             params={"hops": self.HOPS},
+                             metrics={"rows": rows},
+                             results_dir=RESULTS_DIR,
+                             filename="goodput_loss_snapshot.json")
+        assert json.loads(out.read_text())["metrics"]["rows"]

@@ -1,11 +1,7 @@
 """Async submission pipeline: PendingTraversal, doorbell batching,
 admission-control backpressure, and the TraversalBackend protocol."""
 
-import warnings
-
 import pytest
-
-from repro.compat import reset_warnings
 
 from repro.baselines.aifm import CacheRpcSystem
 from repro.baselines.cache import CacheSystem
@@ -263,38 +259,6 @@ class TestFaultInfo:
         assert result.fault.kind == "translation"
         assert str(result.fault) == "bad pointer"
 
-    def test_deprecated_accessors_warn_exactly_once(self):
-        reset_warnings("TraversalResult.faulted")
-        reset_warnings("TraversalResult.fault_reason")
-        fault = FaultInfo(reason="bad pointer", kind="translation")
-        result = TraversalResult(value=None, iterations=0,
-                                 latency_ns=1.0, fault=fault)
-        with pytest.warns(DeprecationWarning, match="faulted"):
-            assert result.faulted is True
-        with pytest.warns(DeprecationWarning, match="fault_reason"):
-            assert result.fault_reason == "bad pointer"
-        # Once per process: further uses are silent.
-        ok = TraversalResult(value=1, iterations=2)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert ok.faulted is False
-            assert ok.fault_reason == ""
-
-    def test_legacy_constructor_kwargs_promote_and_warn_once(self):
-        reset_warnings("TraversalResult.legacy_ctor")
-        with pytest.warns(DeprecationWarning, match="FaultInfo"):
-            result = TraversalResult(value=None, iterations=0,
-                                     latency_ns=0.0,
-                                     faulted=True, fault_reason="boom")
-        assert not result.ok
-        assert isinstance(result.fault, FaultInfo)
-        assert result.fault.reason == "boom"
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            again = TraversalResult(value=None, iterations=0,
-                                    faulted=True, fault_reason="again")
-        assert again.fault.reason == "again"
-
     def test_end_to_end_fault_is_structured(self):
         cluster = PulseCluster(node_count=1)
         lst = LinkedList(cluster.memory)
@@ -309,25 +273,3 @@ class TestFaultInfo:
         assert isinstance(result.fault, FaultInfo)
         assert result.fault.kind == "remote"
         assert result.fault.reason
-
-
-class TestDeprecatedAccessors:
-    def test_cluster_client_warns_once(self):
-        reset_warnings("PulseCluster.client")
-        cluster = PulseCluster(node_count=1)
-        with pytest.warns(DeprecationWarning, match="clients"):
-            client = cluster.client
-        assert client is cluster.clients[0]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert cluster.client is cluster.clients[0]
-
-    def test_cluster_engine_warns_once(self):
-        reset_warnings("PulseCluster.engine")
-        cluster = PulseCluster(node_count=1)
-        with pytest.warns(DeprecationWarning, match="engines"):
-            engine = cluster.engine
-        assert engine is cluster.engines[0]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert cluster.engine is cluster.engines[0]
