@@ -19,16 +19,35 @@ batch machine (``repro.isa.batchmachine``) exist.  Three measurements:
   event-engine work collapse to one vectorized step per LOAD, so the
   wall-clock win is large.
 
-Results land in ``benchmarks/results/BENCH_wallclock.json``.  The ISSUE
-acceptance bars -- compiled >= 3x interpreted on the microbench, and
-batch >= 3x scalar compiled end to end at 32 lanes -- are asserted, so
-CI fails on an execution-tier performance regression.
+Two further measurements ride on the batch cell:
+
+* **Sharded tier**: the same chain/B-tree mix on a four-node rack,
+  single process vs ``cluster.shard(workers=4)``.  The >= 5x gate only
+  makes physical sense with one core per worker plus the coordinator,
+  so it is enforced when the host grants >= 5 CPUs and recorded (with
+  the reason) either way.
+* **Million-request run**: a large open-loop drive with
+  ``keep_results=False`` -- the driver completes in O(N) via a counting
+  done-event, so a million requests is a routine bench rather than an
+  O(N^2) all-of stall.  Honors ``REPRO_BENCH_SCALE``.
+
+Results land in ``benchmarks/results/BENCH_wallclock.json`` (mirrored
+to the repo root by ``write_snapshot``).  The ISSUE acceptance bars --
+compiled >= 3x interpreted on the microbench, and batch >= 3x scalar
+compiled end to end at 32 lanes -- are asserted, so CI fails on an
+execution-tier performance regression.
+
+Every measurement runs after an explicit warmup pass (module import
+costs, numpy kernel compilation, allocator pools), so the first timed
+round does not pay one-time setup -- that, plus the BLAS thread pinning
+in ``conftest.py``, is what keeps the CI gate stable.
 """
 
 import json
 import os
 import random
 import time
+from pathlib import Path
 
 from conftest import RESULTS_DIR, SCALE, scale_requests
 
@@ -71,6 +90,19 @@ BATCH_CHAIN_TAIL = 8
 BATCH_TREE_KEYS = 1024
 BATCH_LOAD_PER_S = 8e6
 
+#: sharded tier: one worker process per memory node on a 4-node rack
+SHARD_NODES = 4
+SHARD_WORKERS = 4
+#: the parallel gate needs one core per worker plus the coordinator
+GATE_MIN_CPUS = SHARD_WORKERS + 1
+CPUS = len(os.sched_getaffinity(0))
+
+MILLION_REQUESTS = 1_000_000
+#: below the single-node batch cell's saturation point, so in-flight
+#: work stays bounded and wall clock scales linearly with requests
+MILLION_LOAD_PER_S = 4e6
+ROUTINE_TARGET_S = 120.0
+
 
 def build_ring_image():
     """A ring of RING_NODES list nodes in one flat byte image."""
@@ -84,8 +116,67 @@ def build_ring_image():
     return bytes(image)
 
 
+_WARMED = False
+
+
+def warm_up():
+    """One untimed pass over every code path the timers cover.
+
+    Primes bytecode caches, the compile tier's threaded-code assembly,
+    numpy's kernel dispatch, and the cluster/allocator pools, so the
+    first timed measurement in this module is not also the first
+    execution of anything.
+    """
+    global _WARMED
+    if _WARMED:
+        return
+    _WARMED = True
+    program = assemble(WALK_ASM)
+    image = build_ring_image()
+
+    def read(vaddr, size):
+        return image[vaddr:vaddr + size]
+
+    for compiled in (False, True):
+        machine = IteratorMachine(program, compiled=compiled)
+        machine.reset(RING_BASE, (64).to_bytes(8, "little"))
+        machine.run(read, max_iterations=65)
+    cluster, operations = build_batch_cell(BATCH_BURST * 2)
+    run_open_loop(cluster, operations, BATCH_LOAD_PER_S, seed=7,
+                  burst=BATCH_BURST, keep_results=False)
+
+
+def build_batch_cell(requests: int, node_count: int = 1,
+                     batch_lanes=None):
+    """The chain/B-tree mixed cell shared by the batch-tier, sharded,
+    and million-request measurements."""
+    cluster = PulseCluster(node_count=node_count, batch_size=BATCH_BURST,
+                           seed=7, batch_lanes=batch_lanes)
+    chain = LinkedList(cluster.memory)
+    for key in range(BATCH_CHAIN_NODES):
+        chain.append(key, key * 3)
+    tree = BPlusTree(cluster.memory, fanout=8)
+    for key in range(BATCH_TREE_KEYS):
+        tree.insert(key, key * 5)
+    finder = chain.find_iterator()
+    lookup = tree.lookup_iterator()
+    rng = random.Random(13)
+    operations = []
+    for _ in range(requests):
+        if rng.random() < 0.5:
+            operations.append((finder, (rng.randrange(
+                BATCH_CHAIN_NODES - BATCH_CHAIN_TAIL,
+                BATCH_CHAIN_NODES),)))
+        else:
+            operations.append(
+                (lookup, (rng.randrange(BATCH_TREE_KEYS),)))
+    return cluster, operations
+
+
 def measure_iterations_per_sec(compiled: bool, hops: int,
-                               rounds: int = 3) -> float:
+                               rounds: int = 3,
+                               warmup_rounds: int = 1) -> float:
+    warm_up()
     program = assemble(WALK_ASM)
     image = build_ring_image()
 
@@ -93,6 +184,9 @@ def measure_iterations_per_sec(compiled: bool, hops: int,
         return image[vaddr:vaddr + size]
 
     machine = IteratorMachine(program, compiled=compiled)
+    for _ in range(warmup_rounds):
+        machine.reset(RING_BASE, hops.to_bytes(8, "little"))
+        machine.run(read, max_iterations=hops + 1)
     best = 0.0
     for _ in range(rounds):
         machine.reset(RING_BASE, hops.to_bytes(8, "little"))
@@ -104,7 +198,32 @@ def measure_iterations_per_sec(compiled: bool, hops: int,
     return best
 
 
+def merge_wallclock_snapshot(metrics: dict, derived: dict,
+                             params: dict) -> Path:
+    """Fold one measurement section into ``BENCH_wallclock.json``.
+
+    The compiled-tier, sharded-tier, and million-request tests each
+    contribute sections to the same headline snapshot; whichever runs
+    later must not clobber the earlier sections, so this reads the
+    current file, merges, and rewrites through ``write_snapshot`` (which
+    also refreshes the repo-root mirror).
+    """
+    path = RESULTS_DIR / "BENCH_wallclock.json"
+    existing = {"params": {}, "metrics": {}, "derived": {}}
+    if path.exists():
+        existing.update(json.loads(path.read_text()))
+    existing["params"].update(params)
+    existing["metrics"].update(metrics)
+    existing["derived"].update(derived)
+    return write_snapshot("wallclock", params=existing["params"],
+                          metrics=existing["metrics"],
+                          derived=existing["derived"],
+                          results_dir=RESULTS_DIR,
+                          filename="BENCH_wallclock.json")
+
+
 def measure_e2e_seconds(interpreted: bool) -> float:
+    warm_up()
     previous = os.environ.get("PULSE_INTERP")
     os.environ["PULSE_INTERP"] = "1" if interpreted else "0"
     try:
@@ -129,29 +248,11 @@ def measure_batch_e2e_seconds(batch_lanes: int, requests: int) -> float:
     Structure build and operation-list prep run untimed (identical in
     both tiers); the timer covers only the open-loop drive.
     """
+    warm_up()
     previous = os.environ.get("PULSE_BATCH")
     os.environ["PULSE_BATCH"] = str(batch_lanes)
     try:
-        cluster = PulseCluster(node_count=1, batch_size=BATCH_BURST,
-                               seed=7)
-        chain = LinkedList(cluster.memory)
-        for key in range(BATCH_CHAIN_NODES):
-            chain.append(key, key * 3)
-        tree = BPlusTree(cluster.memory, fanout=8)
-        for key in range(BATCH_TREE_KEYS):
-            tree.insert(key, key * 5)
-        finder = chain.find_iterator()
-        lookup = tree.lookup_iterator()
-        rng = random.Random(13)
-        operations = []
-        for _ in range(requests):
-            if rng.random() < 0.5:
-                operations.append((finder, (rng.randrange(
-                    BATCH_CHAIN_NODES - BATCH_CHAIN_TAIL,
-                    BATCH_CHAIN_NODES),)))
-            else:
-                operations.append(
-                    (lookup, (rng.randrange(BATCH_TREE_KEYS),)))
+        cluster, operations = build_batch_cell(requests)
         start = time.perf_counter()
         stats = run_open_loop(cluster, operations, BATCH_LOAD_PER_S,
                               seed=7, burst=BATCH_BURST)
@@ -213,10 +314,8 @@ def test_compiled_tier_wallclock():
             "batch_speedup": round(batch_speedup, 2),
         },
     }
-    path = write_snapshot("wallclock", params=report["params"],
-                          metrics=metrics, derived=report["derived"],
-                          results_dir=RESULTS_DIR,
-                          filename="BENCH_wallclock.json")
+    path = merge_wallclock_snapshot(metrics, report["derived"],
+                                    report["params"])
     print(f"\n{json.dumps(report, indent=2)}\n[saved to {path}]")
 
     # The acceptance bar for the compile tier.
@@ -228,3 +327,122 @@ def test_compiled_tier_wallclock():
     # logic and the per-iteration event-engine work must pay >= 3x at
     # 32 lanes on the chain/B-tree mix.
     assert batch_speedup >= 3.0, report
+
+
+def measure_sharded_e2e_seconds(workers: int, requests: int) -> float:
+    """Wall clock of the 4-node batch cell, in-process or sharded."""
+    warm_up()
+    cluster, operations = build_batch_cell(requests,
+                                           node_count=SHARD_NODES,
+                                           batch_lanes=BATCH_LANES)
+    if workers:
+        cluster.shard(workers=workers)
+    try:
+        start = time.perf_counter()
+        stats = run_open_loop(cluster, operations, BATCH_LOAD_PER_S,
+                              seed=7, burst=BATCH_BURST,
+                              keep_results=False)
+        elapsed = time.perf_counter() - start
+    finally:
+        cluster.shutdown()
+    assert stats.completed == requests
+    assert stats.faults == 0
+    return elapsed
+
+
+def test_sharded_wallclock():
+    """Single process vs one worker process per memory node.
+
+    The >= 5x gate assumes each worker (plus the coordinator) gets its
+    own core; on smaller hosts the measurement still runs and lands in
+    the snapshot -- with ``gate_enforced: false`` and the reason -- so
+    the numbers stay honest instead of silently green.
+    """
+    requests = scale_requests(960)
+    single_s = measure_sharded_e2e_seconds(0, requests)
+    sharded_s = measure_sharded_e2e_seconds(SHARD_WORKERS, requests)
+    speedup = single_s / sharded_s
+    gate_enforced = CPUS >= GATE_MIN_CPUS
+    gate_reason = (
+        f"host grants {CPUS} CPUs >= {GATE_MIN_CPUS}" if gate_enforced
+        else f"host grants {CPUS} CPUs < {GATE_MIN_CPUS} (one per "
+             "worker plus the coordinator): pipe round-trips serialize "
+             "onto shared cores, so the >= 5x bar is recorded but not "
+             "asserted")
+    metrics = {
+        "sharded_open_loop": {
+            "requests": requests,
+            "node_count": SHARD_NODES,
+            "workers": SHARD_WORKERS,
+            "batch_lanes": BATCH_LANES,
+            "single_process_wallclock_s": round(single_s, 3),
+            "sharded_wallclock_s": round(sharded_s, 3),
+            "speedup": round(speedup, 2),
+            "cpus": CPUS,
+            "gate_enforced": gate_enforced,
+            "gate_reason": gate_reason,
+        },
+    }
+    derived = {"sharded_speedup": round(speedup, 2),
+               "sharded_gate_enforced": gate_enforced}
+    path = merge_wallclock_snapshot(metrics, derived, {"scale": SCALE})
+    print(f"\n{json.dumps(metrics, indent=2)}\n[saved to {path}]")
+    if gate_enforced:
+        assert speedup >= 5.0, metrics
+
+
+def measure_open_loop_seconds(requests: int) -> float:
+    cluster, operations = build_batch_cell(requests,
+                                           batch_lanes=BATCH_LANES)
+    start = time.perf_counter()
+    stats = run_open_loop(cluster, operations, MILLION_LOAD_PER_S,
+                          seed=7, burst=BATCH_BURST, keep_results=False)
+    elapsed = time.perf_counter() - start
+    assert stats.completed == requests
+    assert stats.faults == 0
+    return elapsed
+
+
+def test_million_request_open_loop():
+    """A million-request drive is a routine bench, not an O(N^2) stall.
+
+    ``keep_results=False`` aggregates stats instead of retaining a
+    million ``TraversalResult`` objects, and the driver's counting
+    done-event replaces the old all-of barrier whose observer list made
+    completion quadratic.  The structural assertion is linearity: the
+    full run's per-request cost must stay within 3x of a 10x-smaller
+    probe run's.  Absolute wall clock depends on host silicon, so the
+    <2 min routine target is recorded (with the projection to a full
+    million) rather than asserted on scaled-down or slow hosts.
+    """
+    warm_up()
+    requests = max(20_000, int(MILLION_REQUESTS * SCALE))
+    probe = max(2_000, requests // 10)
+    probe_s = measure_open_loop_seconds(probe)
+    full_s = measure_open_loop_seconds(requests)
+    rate = requests / full_s
+    projected_million_s = MILLION_REQUESTS / rate
+    linearity = (full_s / probe_s) / (requests / probe)
+    metrics = {
+        "million_request_open_loop": {
+            "requests": requests,
+            "probe_requests": probe,
+            "offered_load_per_s": MILLION_LOAD_PER_S,
+            "batch_lanes": BATCH_LANES,
+            "wallclock_s": round(full_s, 3),
+            "requests_per_sec": round(rate),
+            "projected_million_s": round(projected_million_s, 1),
+            "routine_target_s": ROUTINE_TARGET_S,
+            "routine_on_this_host":
+                projected_million_s <= ROUTINE_TARGET_S,
+            "linearity_vs_probe": round(linearity, 2),
+        },
+    }
+    derived = {
+        "million_projected_s": round(projected_million_s, 1),
+        "million_linearity": round(linearity, 2),
+    }
+    path = merge_wallclock_snapshot(metrics, derived, {"scale": SCALE})
+    print(f"\n{json.dumps(metrics, indent=2)}\n[saved to {path}]")
+    # O(N) termination: per-request cost must not grow with N.
+    assert linearity <= 3.0, metrics

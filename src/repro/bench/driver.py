@@ -135,7 +135,8 @@ def run_workload(system, operations: Sequence[Tuple[Any, tuple]],
 def run_open_loop(system, operations: Sequence[Tuple[Any, tuple]],
                   offered_load_per_s: float,
                   warmup: int = 0, seed: int = 0,
-                  burst: int = 1) -> WorkloadStats:
+                  burst: int = 1,
+                  keep_results: bool = True) -> WorkloadStats:
     """Submit ``operations`` at a Poisson rate, without waiting.
 
     Arrivals are exponential with mean ``1 / offered_load_per_s``; each
@@ -149,6 +150,13 @@ def run_open_loop(system, operations: Sequence[Tuple[Any, tuple]],
     machine) can exploit.  Requests that exhaust their retry budget
     (admission NACKs under overload, or losses) are counted in
     ``lost`` rather than aborting the run.
+
+    ``keep_results=False`` folds completions into running aggregates
+    (count, faults, hops, latencies) instead of retaining every
+    :class:`TraversalResult` -- the mode million-request runs use.
+    Termination is a counting done-event either way: each completion
+    decrements an outstanding counter, so a run with N requests costs
+    O(N), not the O(N^2) an all-of barrier over N collectors would.
     """
     if offered_load_per_s <= 0:
         raise ValueError("offered load must be positive")
@@ -157,10 +165,14 @@ def run_open_loop(system, operations: Sequence[Tuple[Any, tuple]],
     env = system.env
     rate_per_ns = offered_load_per_s / 1e9
     rng = random.Random(seed)
-    results: List[Optional[TraversalResult]] = [None] * len(operations)
-    state = {"lost": 0, "in_flight": 0, "max_in_flight": 0}
+    results: List[Optional[TraversalResult]] = (
+        [None] * len(operations) if keep_results else [])
+    state = {"lost": 0, "in_flight": 0, "max_in_flight": 0,
+             "outstanding": 0, "gen_done": False}
+    agg = {"completed": 0, "faults": 0, "hops": 0}
+    latencies: List[float] = []
     measure_start = {"t": None}
-    collectors = []
+    done = env.event()
 
     def collect(index, pending):
         try:
@@ -170,7 +182,16 @@ def run_open_loop(system, operations: Sequence[Tuple[Any, tuple]],
             return
         finally:
             state["in_flight"] -= 1
-        results[index] = result
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0 and state["gen_done"]:
+                done.succeed()
+        if keep_results:
+            results[index] = result
+        elif index >= warmup:
+            agg["completed"] += 1
+            agg["faults"] += 0 if result.ok else 1
+            agg["hops"] += result.hops
+            latencies.append(result.latency_ns)
 
     def generator():
         for begin in range(0, len(operations), burst):
@@ -184,21 +205,31 @@ def run_open_loop(system, operations: Sequence[Tuple[Any, tuple]],
             state["in_flight"] += len(pendings)
             state["max_in_flight"] = max(state["max_in_flight"],
                                          state["in_flight"])
+            state["outstanding"] += len(pendings)
             for offset, pending in enumerate(pendings):
-                collectors.append(
-                    env.process(collect(begin + offset, pending)))
+                env.process(collect(begin + offset, pending))
 
     env.run(until=env.process(generator()))
-    env.run(until=env.all_of(collectors))
+    state["gen_done"] = True
+    if state["outstanding"] == 0:
+        done.succeed()
+    env.run(until=done)
 
-    measured = [r for r in results[warmup:] if r is not None]
     start = measure_start["t"] if measure_start["t"] is not None else 0.0
+    if keep_results:
+        measured = [r for r in results[warmup:] if r is not None]
+        agg = {"completed": len(measured),
+               "faults": sum(1 for r in measured if not r.ok),
+               "hops": sum(r.hops for r in measured)}
+        latencies = [r.latency_ns for r in measured]
+    else:
+        measured = []
     return WorkloadStats(
-        completed=len(measured),
+        completed=agg["completed"],
         duration_ns=env.now - start,
-        latencies_ns=[r.latency_ns for r in measured],
-        faults=sum(1 for r in measured if not r.ok),
-        total_hops=sum(r.hops for r in measured),
+        latencies_ns=latencies,
+        faults=agg["faults"],
+        total_hops=agg["hops"],
         results=measured,
         metrics=system.metrics_snapshot(),
         offered_load_per_s=offered_load_per_s,

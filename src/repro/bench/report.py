@@ -18,6 +18,18 @@ from typing import Dict, List, Optional, Tuple
 #: file written by the benchmarks holding {system: registry.snapshot()}
 METRICS_SNAPSHOT_FILE = "metrics_snapshot.json"
 
+#: bump when the snapshot payload shape changes; consumers (CI diff
+#: jobs, dashboards) key their parsers off this field
+SCHEMA_VERSION = 1
+
+#: headline snapshots also mirrored to ``BENCH_<name>.json`` at the
+#: repo root, where CI uploads and readers expect the latest numbers
+HEADLINE_SNAPSHOTS = ("wallclock", "goodput_loss", "migration",
+                      "split_index")
+
+#: repo root (this file lives at src/repro/bench/report.py)
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
 #: accelerator span stages, in pipeline order (Fig 9's x-axis)
 SPAN_STAGES = ("netstack", "scheduler", "memory", "logic")
 
@@ -94,18 +106,27 @@ def write_snapshot(name: str, params: Dict, metrics: Dict,
     ``<name>_snapshot.json`` under ``benchmarks/results``; pass
     ``filename`` for legacy artifact names CI already tracks (e.g.
     ``BENCH_wallclock.json``).
+
+    :data:`HEADLINE_SNAPSHOTS` are additionally mirrored to
+    ``BENCH_<name>.json`` at the repo root so the latest headline
+    numbers live next to the README rather than buried in the results
+    tree.
     """
     directory = (Path(results_dir) if results_dir is not None
                  else Path("benchmarks") / "results")
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "name": name,
         "params": params,
         "metrics": metrics,
         "derived": derived if derived is not None else {},
     }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     path = directory / (filename if filename else f"{name}_snapshot.json")
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(text)
+    if name in HEADLINE_SNAPSHOTS:
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
     return path
 
 

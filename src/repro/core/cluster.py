@@ -30,6 +30,7 @@ from repro.mem.node import GlobalMemory
 from repro.obs.metrics import MetricsRegistry
 from repro.params import DEFAULT_PARAMS, SystemParams
 from repro.placement.service import PlacementService
+from repro.shard.runtime import ShardError, ShardedRuntime, resolve_workers
 from repro.sim.engine import Environment
 from repro.sim.network import Fabric
 from repro.sim.trace import NullTracer, Tracer
@@ -57,7 +58,8 @@ class PulseCluster:
                  seed: int = 0,
                  split_index: bool = False,
                  split_index_capacity: int = 1 << 20,
-                 split_index_invalidate: bool = True):
+                 split_index_invalidate: bool = True,
+                 workers: Optional[int] = None):
         self.params = params if params is not None else DEFAULT_PARAMS
         self.env = Environment()
         #: one registry carries every metric in the rack; snapshot() is
@@ -132,10 +134,57 @@ class PulseCluster:
             for i in range(client_count)
         ]
         self._next_client = 0
+        #: requested shard count (``workers=`` arg, else ``PULSE_WORKERS``
+        #: env, else 0 = classic in-process execution); the fork happens
+        #: lazily on the first submission so structures built after
+        #: construction still replicate into every worker
+        self._workers = resolve_workers(workers)
+        self.runtime: Optional[ShardedRuntime] = None
 
     @property
     def node_count(self) -> int:
         return self.memory.node_count
+
+    @property
+    def sharded(self) -> bool:
+        """True while worker processes are attached to this cluster."""
+        return self.runtime is not None and self.runtime._started \
+            and not self.runtime._stopped
+
+    # -- sharded execution --------------------------------------------------------
+    def shard(self, workers: Optional[int] = None,
+              replicated: Sequence = ()) -> ShardedRuntime:
+        """Fork one worker process per shard and start the lookahead sync.
+
+        Build every data structure *before* calling this: the workers
+        are copy-on-write replicas of the cluster as it exists at the
+        fork.  ``replicated`` process factories (``factory(cluster) ->
+        generator``) are started identically in every replica -- the
+        hook deterministic background load (e.g. a migration storm)
+        uses to run in lockstep across processes.  Call
+        :meth:`shutdown` (or ``runtime.stop()``) when done.
+        """
+        if self.sharded:
+            raise ShardError("cluster is already sharded")
+        self.runtime = ShardedRuntime(
+            self, workers if workers is not None else (self._workers or None),
+            replicated=replicated)
+        return self.runtime.start()
+
+    def _ensure_sharded(self) -> None:
+        if self._workers > 0 and self.runtime is None:
+            self.shard(self._workers)
+
+    def shutdown(self) -> None:
+        """Stop worker processes (no-op for in-process clusters)."""
+        if self.runtime is not None:
+            self.runtime.stop()
+
+    def _forbid_sharded(self, operation: str) -> None:
+        if self.sharded:
+            raise ShardError(
+                f"{operation} is not supported while sharded: cluster "
+                "membership must be fixed before the fork")
 
     # -- cluster membership -------------------------------------------------------
     def add_node(self) -> int:
@@ -148,6 +197,7 @@ class PulseCluster:
         starts cold; call :meth:`rebalance_once` (or leave the
         rebalancer running) to shift load onto it.
         """
+        self._forbid_sharded("add_node")
         node = self.memory.add_node()
         node.attach_metrics(self.registry, clock=lambda: self.env.now)
         acc = Accelerator(self.env, node, self.fabric, self.params,
@@ -167,17 +217,29 @@ class PulseCluster:
         ``cluster.env.run(until=cluster.drain_node(1))`` -- so traversals
         keep running while the drain progresses.
         """
+        self._forbid_sharded("drain_node")
         return self.placement.drain_node(node_id)
 
     def migrate(self, virt_start: int, virt_end: int, dst_node: int):
-        """Live-migrate one virtual range; returns the sim process."""
+        """Live-migrate one virtual range.
+
+        In-process this returns the sim process; under sharding the
+        migration is broadcast as a control record applied at the same
+        instant in every replica, and the returned event fires when the
+        coordinator's copy completes -- both forms work with
+        ``env.run(until=...)``.
+        """
+        if self.sharded:
+            return self.runtime.migrate(virt_start, virt_end, dst_node)
         return self.placement.migrate(virt_start, virt_end, dst_node)
 
     def rebalance_once(self):
         """Run a single rebalancer round; returns the sim process."""
+        self._forbid_sharded("rebalance_once")
         return self.placement.rebalance_once()
 
     def start_rebalancer(self) -> None:
+        self._forbid_sharded("start_rebalancer")
         self.placement.start_rebalancer()
 
     def stop_rebalancer(self) -> None:
@@ -213,6 +275,7 @@ class PulseCluster:
         them, so many in-flight submissions naturally spread over the
         clients (and their doorbell batchers).
         """
+        self._ensure_sharded()
         return self._pick_client().submit(iterator, *args)
 
     def submit_many(self, requests: Sequence[Tuple[PulseIterator, tuple]]
@@ -227,6 +290,7 @@ class PulseCluster:
         """
         if not requests:
             return []
+        self._ensure_sharded()
         client = self._pick_client()
         return client.submit_many(requests)
 
@@ -241,6 +305,7 @@ class PulseCluster:
     def run_traversal(self, iterator: PulseIterator,
                       *args) -> TraversalResult:
         """Convenience: run one traversal to completion synchronously."""
+        self._ensure_sharded()
         process = self.env.process(
             self.clients[0].traverse(iterator, *args))
         return self.env.run(until=process)
@@ -248,6 +313,7 @@ class PulseCluster:
     def run_workload(self, operations: Sequence[Tuple[PulseIterator, tuple]],
                      concurrency: int = 8,
                      warmup: int = 0) -> WorkloadStats:
+        self._ensure_sharded()
         return run_workload(self, operations, concurrency, warmup)
 
     # -- observability ------------------------------------------------------------
@@ -278,7 +344,16 @@ class PulseCluster:
         Resets every registry metric and re-bases the busy-time windows
         of the network endpoints, so utilizations and histograms cover
         only what happens after this call.
+
+        Under sharding, the coordinator resets immediately and each
+        worker resets at the start of the next sync window -- still
+        before any post-reset traffic can reach it.
         """
+        self._begin_measurement_local()
+        if self.sharded:
+            self.runtime.begin_measurement()
+
+    def _begin_measurement_local(self) -> None:
         self.registry.reset()
         self.fabric.begin_window()
         for acc in self.accelerators:
@@ -287,7 +362,14 @@ class PulseCluster:
                 core.logic_pipeline.begin_window()
 
     def metrics_snapshot(self) -> dict:
-        """One JSON-able export of every metric in the rack."""
+        """One JSON-able export of every metric in the rack.
+
+        When the cluster is sharded, worker-owned ``mem{i}.*`` /
+        ``net.mem{i}.*`` metrics are pulled from the worker processes
+        and merged into one rack-wide view.
+        """
+        if self.runtime is not None and self.runtime._started:
+            return self.runtime.metrics_snapshot()
         return self.registry.snapshot()
 
     def reset_counters(self) -> None:

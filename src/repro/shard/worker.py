@@ -1,0 +1,101 @@
+"""Worker side of sharded execution: one process per memory-node shard.
+
+Each worker is a copy-on-write fork of the fully built cluster.  It
+owns the ``mem{i}`` endpoints for its assigned nodes (accelerator,
+memory pipeline, allocator, batch-machine pool) and stays inert for
+everything else -- the coordinator never routes frames to non-owned
+inboxes, so those replicas simply block forever.  The main loop is
+purely reactive: inject the frames and control records that arrived
+with an ``ADVANCE``, run every local event strictly before the window
+end, then report exports and the next pending event time back.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+
+from repro.shard.runtime import ShardError, ShardRouter, apply_ctl
+from repro.shard.transport import (ADVANCE, DONE, ERROR, SNAPSHOT, STOP,
+                                   STOPPED)
+
+
+def seed_worker_rngs(cluster, owned_nodes, worker_index: int,
+                     seed) -> None:
+    """Reseed this process's RNGs from ``(cluster seed, node ids)``.
+
+    The forked replica inherits the parent's global ``random`` state;
+    without reseeding, two workers would share one stream and any
+    worker-local draw would depend on fork timing.  Each owned
+    accelerator also gets a dedicated ``shard_rng`` handle so future
+    node-local randomness has a stable, per-node stream.
+    """
+    random.seed(f"{seed}:shard:{worker_index}:{tuple(owned_nodes)}")
+    owned = {f"mem{i}": i for i in owned_nodes}
+    for accelerator in cluster.accelerators:
+        node_id = owned.get(accelerator.name)
+        if node_id is not None:
+            accelerator.shard_rng = random.Random(
+                f"{seed}:shard-node:{node_id}")
+
+
+def _snapshot_at(cluster, at_ns: float) -> dict:
+    """Snapshot the local registry with gauges read at the rack clock.
+
+    A worker's clock rests wherever its last window left it, which can
+    sit past the coordinator's stop time; time-dependent callback
+    gauges (bandwidth windows, hotness decay) must be evaluated at the
+    coordinator's ``now`` or the merged snapshot would mix clocks.
+    """
+    env = cluster.env
+    saved, env._now = env._now, at_ns
+    try:
+        return cluster.registry.snapshot()
+    finally:
+        env._now = saved
+
+
+def worker_main(conn, cluster, owned_nodes, worker_index: int, seed,
+                replicated) -> None:
+    """Entry point run inside each forked worker process."""
+    try:
+        seed_worker_rngs(cluster, owned_nodes, worker_index, seed)
+        env = cluster.env
+        owned_names = frozenset(f"mem{i}" for i in owned_nodes)
+        router = ShardRouter(lambda name: name in owned_names,
+                             worker_index)
+        cluster.fabric.shard_router = router
+        cluster.runtime = None  # replicas never re-broadcast controls
+        for factory in replicated:
+            env.process(factory(cluster))
+        while True:
+            try:
+                request = conn.recv()
+            except EOFError:
+                return
+            tag = request[0]
+            if tag == ADVANCE:
+                _, window_end, frames, ctls, activation_ns = request
+                for ctl in ctls:
+                    apply_ctl(cluster, ctl, activation_ns)
+                for frame in frames:
+                    cluster.fabric.inject(frame.message, frame.arrival_ns)
+                env.run_window(window_end)
+                conn.send((DONE, router.drain(), env.peek()))
+            elif tag == SNAPSHOT:
+                conn.send((SNAPSHOT, _snapshot_at(cluster, request[1])))
+            elif tag == STOP:
+                conn.send((STOPPED, _snapshot_at(cluster, request[1])))
+                return
+            else:
+                raise ShardError(f"unknown request tag {tag!r}")
+    except BaseException:
+        try:
+            conn.send((ERROR, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass

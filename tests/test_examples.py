@@ -22,6 +22,7 @@ QUICK_EXAMPLES = [
     "batch_machine.py",
     "scale_out.py",
     "split_index.py",
+    "sharded_cluster.py",
 ]
 
 
