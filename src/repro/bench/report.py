@@ -25,7 +25,7 @@ SCHEMA_VERSION = 1
 #: headline snapshots also mirrored to ``BENCH_<name>.json`` at the
 #: repo root, where CI uploads and readers expect the latest numbers
 HEADLINE_SNAPSHOTS = ("wallclock", "goodput_loss", "migration",
-                      "split_index")
+                      "split_index", "affinity")
 
 #: repo root (this file lives at src/repro/bench/report.py)
 REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -85,6 +85,10 @@ SECTIONS: List[Tuple[str, str, str]] = [
      "table: a hit is one direct READ at the owning node (one RTT, no "
      "traversal); misses and stale hints fall back to the offloaded "
      "traversal engine."),
+    ("ext_affinity", "Extension — traversal-affinity placement",
+     "placement.hops_per_traversal on graph and B+-tree workloads "
+     "under multi-node Zipfian skew, before and after cut-edge-aware "
+     "rebalancing of chain arenas (vs the heat-only objective)."),
 ]
 
 

@@ -507,6 +507,9 @@ class Accelerator:
         """The per-iteration memory/logic loop of one admitted request."""
         program = request.program
         iterations = 0
+        # The previous load in *this traversal* (carried across reroute
+        # continuations) seeds the successor-edge sampling chain.
+        prev_load = request.last_load_vaddr
         while True:
             load_addr = wrap64(machine.cur_ptr + window_offset)
             # Translation stage: the per-core TLB absorbs the full TCAM
@@ -515,9 +518,11 @@ class Accelerator:
             if entry is None:
                 return self._miss_response(machine.cur_ptr,
                                            bytes(machine.scratch),
-                                           request, iterations, load_addr)
+                                           request, iterations, load_addr,
+                                           last_load=prev_load)
             if self.hotness is not None:
-                self.hotness.sample(load_addr)
+                self.hotness.sample(load_addr, prev=prev_load)
+            prev_load = load_addr
 
             # Memory phase: pipeline occupancy, interconnect share, then
             # the latency tail (overlapped with other workspaces).
@@ -546,9 +551,13 @@ class Accelerator:
             # never reads through a stale translation.
             entry = core.tlb.revalidate(entry, load_addr, window_size)
             if entry is None:
+                # prev_load already advanced to load_addr: this load's
+                # edge was sampled at lookup, so the continuation must
+                # not re-record it at the new owner.
                 return self._miss_response(machine.cur_ptr,
                                            bytes(machine.scratch),
-                                           request, iterations, load_addr)
+                                           request, iterations, load_addr,
+                                           last_load=prev_load)
 
             try:
                 step = machine.run_iteration(
@@ -578,11 +587,11 @@ class Accelerator:
             if step.outcome is IterationOutcome.DONE:
                 return request.advanced(
                     machine.cur_ptr, bytes(machine.scratch), iterations,
-                    RequestStatus.DONE)
+                    RequestStatus.DONE, last_load_vaddr=prev_load)
             if request.iterations_done + iterations >= acc.max_iterations:
                 return request.advanced(
                     machine.cur_ptr, bytes(machine.scratch), iterations,
-                    RequestStatus.ITER_LIMIT)
+                    RequestStatus.ITER_LIMIT, last_load_vaddr=prev_load)
 
     def _execute_batch(self, core: AcceleratorCore,
                        requests: List[TraversalRequest]):
@@ -611,6 +620,11 @@ class Accelerator:
             iters_done = np.fromiter(
                 (request.iterations_done for request in requests),
                 dtype=np.int64, count=len(requests))
+            # Per-lane previous load, seeded from the request (carried
+            # across reroutes) -- the batch-tier successor-edge chain.
+            lane_prev = np.fromiter(
+                (request.last_load_vaddr for request in requests),
+                dtype=np.uint64, count=len(requests))
             for lane, request in enumerate(requests):
                 machine.seed(lane, request.cur_ptr, request.scratch)
             active = list(range(len(requests)))
@@ -634,7 +648,8 @@ class Accelerator:
                                     machine.lane_scratch(lane),
                                     requests[lane],
                                     int(lane_iters[lane]),
-                                    int(addrs[index])))
+                                    int(addrs[index]),
+                                    last_load=int(lane_prev[lane])))
                         else:
                             lanes.append(active[index])
                             held.append(entry)
@@ -645,7 +660,8 @@ class Accelerator:
                 else:
                     lanes, held = active, entries
                 if self.hotness is not None:
-                    self.hotness.sample_many(addrs)
+                    self.hotness.sample_many(addrs, prevs=lane_prev[lanes])
+                lane_prev[lanes] = addrs
                 version = table.version
 
                 # Memory phase: the gathered LOAD holds the pipeline and
@@ -681,7 +697,8 @@ class Accelerator:
                                     machine.lane_cur_ptr(lane),
                                     machine.lane_scratch(lane),
                                     requests[lane],
-                                    int(lane_iters[lane]), addr))
+                                    int(lane_iters[lane]), addr,
+                                    last_load=int(lane_prev[lane])))
                         else:
                             survivors.append(lane)
                             paddrs.append(fresh.translate(addr))
@@ -725,7 +742,8 @@ class Accelerator:
                     self._finish_lane(core, request, request.advanced(
                         machine.lane_cur_ptr(lane),
                         machine.lane_scratch(lane),
-                        int(lane_iters[lane]), RequestStatus.DONE))
+                        int(lane_iters[lane]), RequestStatus.DONE,
+                        last_load_vaddr=int(lane_prev[lane])))
                 if cont.size:
                     limited = (iters_done[cont] + lane_iters[cont]
                                >= acc.max_iterations)
@@ -735,7 +753,8 @@ class Accelerator:
                             machine.lane_cur_ptr(lane),
                             machine.lane_scratch(lane),
                             int(lane_iters[lane]),
-                            RequestStatus.ITER_LIMIT))
+                            RequestStatus.ITER_LIMIT,
+                            last_load_vaddr=int(lane_prev[lane])))
                     active = cont[~limited].tolist()
                 else:
                     active = []
@@ -749,7 +768,8 @@ class Accelerator:
                         cur_ptr=machine.lane_cur_ptr(lane),
                         scratch=machine.lane_scratch(lane),
                         iterations_done=(request.iterations_done
-                                         + int(lane_iters[lane])))
+                                         + int(lane_iters[lane])),
+                        last_load_vaddr=int(lane_prev[lane]))
                     self.env.process(self._serve(resumed))
         finally:
             core.batch.release(machine)
@@ -767,7 +787,8 @@ class Accelerator:
 
     def _miss_response(self, cur_ptr: int, scratch: bytes,
                        request: TraversalRequest, iterations: int,
-                       load_addr: int) -> TraversalRequest:
+                       load_addr: int,
+                       last_load: Optional[int] = None) -> TraversalRequest:
         """Translation miss: re-route, redirect (migrated), or fault.
 
         A pointer arithmetically *foreign* is the paper's distributed
@@ -795,7 +816,7 @@ class Accelerator:
                 self._m_rerouted.inc()
                 response = request.advanced(
                     cur_ptr, scratch, iterations,
-                    RequestStatus.RUNNING)
+                    RequestStatus.RUNNING, last_load_vaddr=last_load)
                 response.node_hops = request.node_hops + 1
                 return response
             self._m_faults.inc()
@@ -813,7 +834,7 @@ class Accelerator:
             self._m_moved.inc()
             response = request.advanced(
                 cur_ptr, scratch, iterations,
-                RequestStatus.MOVED)
+                RequestStatus.MOVED, last_load_vaddr=last_load)
             response.node_hops = request.node_hops + 1
             return response
         self._m_faults.inc()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.isa.program import Program
 
@@ -94,6 +94,13 @@ class TraversalRequest:
     tenant: int = 0
     #: inter-memory-node continuations this traversal has made (section 5)
     node_hops: int = 0
+    #: the traversal's most recent load address (0 = none yet); carried
+    #: across inter-node continuations so the hotness tracker can sample
+    #: *successor edges* spanning a reroute -- exactly the cut edges the
+    #: affinity rebalancer exists to remove.  Metadata for the placement
+    #: layer: it rides the existing header words, so ``wire_bytes()`` is
+    #: unchanged and no timing shifts.
+    last_load_vaddr: int = 0
     #: whether this message carries the full program or just its handle.
     #: The offload engine deploys each compiled program once; subsequent
     #: requests (and all responses/continuations) reference it by a
@@ -117,8 +124,8 @@ class TraversalRequest:
                 + len(self.scratch))
 
     def advanced(self, cur_ptr: int, scratch: bytes, iterations: int,
-                 status: RequestStatus,
-                 fault_reason: str = "") -> "TraversalRequest":
+                 status: RequestStatus, fault_reason: str = "",
+                 last_load_vaddr: Optional[int] = None) -> "TraversalRequest":
         """A copy with updated traversal state (for the response)."""
         return replace(
             self,
@@ -128,6 +135,9 @@ class TraversalRequest:
             status=status,
             fault_reason=fault_reason,
             code_on_wire=False,
+            last_load_vaddr=(self.last_load_vaddr
+                             if last_load_vaddr is None
+                             else last_load_vaddr),
         )
 
 

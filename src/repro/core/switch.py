@@ -113,7 +113,19 @@ class PulseSwitch:
                        fn=lambda: len(self._table))
         registry.gauge("switch.rules",
                        fn=lambda: float(self.rangemap.rule_count))
+        # Mean inter-node hops per completed traversal: every reroute is
+        # one switch hop plus a transport checkpoint the affinity
+        # rebalancer exists to remove.  0.0 until a traversal returns.
+        registry.gauge("placement.hops_per_traversal",
+                       fn=self.hops_per_traversal)
         env.process(self._route_loop())
+
+    def hops_per_traversal(self) -> float:
+        """switch.rerouted_node_to_node / switch.returned_to_client."""
+        returned = self._m_returned.value
+        if not returned:
+            return 0.0
+        return self._m_rerouted.value / returned
 
     # Compatibility properties over the registry-backed counters.
     @property

@@ -21,9 +21,21 @@ the node's TCAM range entries as it grows.
 Virtual and physical offsets are tracked separately: an address keeps
 its virtual *home* range forever, but live migration
 (``repro.placement``) can move its backing bytes to another node.  The
-arena APIs the migration engine uses -- :meth:`adopt_physical`,
+physical-arena APIs the migration engine uses -- :meth:`adopt_physical`,
 :meth:`release_physical`, :meth:`transfer_ownership`,
 :meth:`snap_range` -- live here, next to the accounting they mutate.
+
+**Traversal arenas** (:class:`TraversalArena`) are the
+collective-allocator layer on top: a data structure asks for a named
+arena per chain (``allocator.arena(structure_id, chain_hint)``) and
+routes every node allocation through it.  The arena reserves contiguous
+virtual *extents* and bump-allocates inside them, so objects that are
+traversed together -- one bucket chain, one run of B+Tree leaves, one
+adjacency run -- occupy contiguous virtual ranges that
+``PlacementMap.move()`` can ship between memory nodes as a unit.  This
+is the placement refactor the affinity rebalancer builds on: without
+arenas, allocation order interleaves chains and a depth-d traversal
+crosses node boundaries ~d times once a structure spans the rack.
 """
 
 from __future__ import annotations
@@ -31,7 +43,7 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.mem.addrspace import AddressSpace
 from repro.mem.translation import (
@@ -86,13 +98,79 @@ class _NodeArena:
         return (self.capacity - self.phys_bump) + self.phys_free_bytes
 
 
+@dataclass
+class _ArenaExtent:
+    """One contiguous virtual reservation backing part of an arena."""
+
+    start: int
+    end: int
+    cursor: int
+    home_node: int
+
+    def remaining(self) -> int:
+        return self.end - self.cursor
+
+
+class TraversalArena:
+    """A collective-allocator handle: co-locate one chain's objects.
+
+    Obtained from :meth:`DisaggregatedAllocator.arena` and keyed by
+    ``(structure_id, chain_hint, preferred_node)``; every ``alloc()``
+    bump-allocates inside the arena's current extent, so successive
+    nodes of the chain are virtually contiguous.  When an extent fills,
+    the arena reserves a fresh one -- preferring the same memory node
+    (affinity), falling back to the allocator's placement policy when
+    that node is full or draining.  Objects larger than an extent
+    degrade gracefully to the plain allocation path.
+
+    Extents, not individual objects, are the migration unit: the
+    rebalancer widens any in-arena candidate segment to its covering
+    extent so a chain moves whole instead of being sheared at an
+    arbitrary segment boundary.
+    """
+
+    def __init__(self, allocator: "DisaggregatedAllocator",
+                 structure_id: int, chain_hint: Hashable,
+                 preferred_node: Optional[int],
+                 extent_bytes: int):
+        self.allocator = allocator
+        self.structure_id = structure_id
+        self.chain_hint = chain_hint
+        self.preferred_node = preferred_node
+        self.extent_bytes = extent_bytes
+        self.extents: List[_ArenaExtent] = []
+        self.allocated_bytes = 0
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes inside the arena's virtual extents."""
+        return self.allocator._arena_alloc(self, size)
+
+    def extent_ranges(self) -> List[Tuple[int, int]]:
+        """The arena's reserved (virt_start, virt_end) spans."""
+        return [(e.start, e.end) for e in self.extents]
+
+    @property
+    def home_node(self) -> Optional[int]:
+        """The node the arena's most recent extent was placed on."""
+        if not self.extents:
+            return self.preferred_node
+        return self.extents[-1].home_node
+
+
 class DisaggregatedAllocator:
     """Allocates virtual addresses across the rack's memory nodes."""
+
+    #: default virtual reservation per arena extent.  Small enough that
+    #: a large structure still spreads across nodes (the UNIFORM policy
+    #: operates per extent), large enough to hold a useful run of chain
+    #: nodes (16 of the paper's 256 B hash nodes per extent).
+    ARENA_EXTENT_BYTES = 4096
 
     def __init__(self, addrspace: AddressSpace,
                  tables: List[RangeTranslationTable],
                  policy: PlacementPolicy = PlacementPolicy.UNIFORM,
-                 alignment: int = 8):
+                 alignment: int = 8,
+                 arena_extent_bytes: Optional[int] = None):
         if len(tables) != addrspace.node_count:
             raise AllocationError(
                 "need one translation table per memory node")
@@ -107,6 +185,17 @@ class DisaggregatedAllocator:
             for n in range(addrspace.node_count)
         ]
         self._rr_next = 0
+        self.arena_extent_bytes = (arena_extent_bytes
+                                   if arena_extent_bytes is not None
+                                   else self.ARENA_EXTENT_BYTES)
+        #: (structure_id, chain_hint, preferred_node) -> TraversalArena
+        self._arena_handles: Dict[Tuple, TraversalArena] = {}
+        #: extent starts / (start, end) spans, sorted, for extent_of()
+        self._extent_starts: List[int] = []
+        self._extent_spans: List[Tuple[int, int]] = []
+        self._next_structure_id = 0
+        self.extent_count = 0
+        self.arena_fallback_allocs = 0
         self.live_allocations: dict = {}  # vaddr -> size
         #: set by GlobalMemory once a placement map exists; free() then
         #: resolves a block's *current* owner through it (the arithmetic
@@ -147,6 +236,130 @@ class DisaggregatedAllocator:
         arena.live_bytes -= size
         self._insert_free_block(node_id, arena, vaddr, size)
 
+    # -- traversal arenas ---------------------------------------------------
+    def new_structure_id(self) -> int:
+        """A rack-unique id naming one data structure's arena family."""
+        sid = self._next_structure_id
+        self._next_structure_id += 1
+        return sid
+
+    def arena(self, structure_id: int, chain_hint: Hashable = 0,
+              preferred_node: Optional[int] = None,
+              extent_bytes: Optional[int] = None) -> TraversalArena:
+        """The arena for one chain of one structure (created on demand).
+
+        ``chain_hint`` names the traversal unit within the structure --
+        a hash bucket, a B+Tree level, a vertex community -- and may be
+        any hashable.  ``preferred_node`` pins the arena's extents to
+        one memory node (the partitioned-placement policies); None lets
+        each extent follow the allocator's placement policy, so a big
+        structure still spreads across the rack at extent granularity.
+        """
+        key = (structure_id, chain_hint, preferred_node)
+        handle = self._arena_handles.get(key)
+        if handle is None:
+            handle = TraversalArena(
+                self, structure_id, chain_hint, preferred_node,
+                extent_bytes if extent_bytes is not None
+                else self.arena_extent_bytes)
+            self._arena_handles[key] = handle
+        return handle
+
+    def arena_extent_of(self, vaddr: int) -> Optional[Tuple[int, int]]:
+        """The (start, end) arena extent containing ``vaddr``, if any.
+
+        The rebalancer uses this to widen a candidate segment to its
+        covering extent, so chain arenas migrate whole.
+        """
+        index = bisect.bisect_right(self._extent_starts, vaddr) - 1
+        if index < 0:
+            return None
+        start, end = self._extent_spans[index]
+        if vaddr >= end:
+            return None
+        return start, end
+
+    def arena_extents(self) -> List[Tuple[int, int]]:
+        """Every reserved arena extent, sorted by virtual start."""
+        return list(self._extent_spans)
+
+    def _arena_alloc(self, handle: TraversalArena, size: int) -> int:
+        if size <= 0:
+            raise AllocationError(f"invalid allocation size: {size}")
+        size = self._align(size)
+        extent = handle.extents[-1] if handle.extents else None
+        if extent is None or extent.remaining() < size:
+            extent = self._reserve_extent(handle, size)
+            if extent is None:
+                # Rack too full (or object bigger than an extent) --
+                # degrade to the plain path rather than fail.
+                self.arena_fallback_allocs += 1
+                return self.alloc(size,
+                                  preferred_node=handle.preferred_node)
+        vaddr = extent.cursor
+        extent.cursor += size
+        # A migration may have rehomed part of the extent since it was
+        # reserved; credit the *current* owner.
+        owner = self._owner_of(vaddr)
+        self._arenas[owner].live_bytes += size
+        self.live_allocations[vaddr] = size
+        handle.allocated_bytes += size
+        return vaddr
+
+    def _reserve_extent(self, handle: TraversalArena,
+                        min_bytes: int) -> Optional[_ArenaExtent]:
+        """Reserve a fresh extent: virtual span + physical backing +
+        one covering TCAM entry.  Returns None when nothing fits."""
+        span = max(self._align(min_bytes), handle.extent_bytes)
+        order: List[int] = []
+        if handle.preferred_node is not None:
+            # Explicit pin (placement callable / partition_nodes):
+            # always honored first, even after a spill elsewhere.
+            order.append(handle.preferred_node)
+        home = handle.home_node
+        if home is not None and home not in order:
+            # Implicit affinity: keep extending the chain on the node of
+            # its last extent -- but only while that node's fill stays
+            # within 0.25 of the rack minimum, so one big structure
+            # can't pile onto a single node and defeat load balance.
+            fills = self.node_fill_fractions()
+            if fills[home] <= min(fills) + 0.25:
+                order.append(home)
+        try:
+            order.append(self._pick_node(span))
+        except AllocationError:
+            pass
+        order.extend(range(len(self._arenas)))
+        for node_id in order:
+            if not 0 <= node_id < len(self._arenas):
+                continue
+            arena = self._arenas[node_id]
+            if not arena.allocatable:
+                continue
+            if arena.virt_remaining() < span:
+                continue
+            try:
+                phys = self._grab_phys(arena, span, node_id)
+            except AllocationError:
+                continue
+            vaddr = arena.virt_start + arena.virt_bump
+            arena.virt_bump += span
+            self._tables[node_id].insert(RangeEntry(
+                virt_start=vaddr,
+                virt_end=vaddr + span,
+                phys_start=phys,
+                perms=PERM_READ | PERM_WRITE,
+            ))
+            extent = _ArenaExtent(start=vaddr, end=vaddr + span,
+                                  cursor=vaddr, home_node=node_id)
+            handle.extents.append(extent)
+            index = bisect.bisect(self._extent_starts, vaddr)
+            self._extent_starts.insert(index, vaddr)
+            self._extent_spans.insert(index, (vaddr, vaddr + span))
+            self.extent_count += 1
+            return extent
+        return None
+
     def allocated_bytes(self, node_id: int) -> int:
         """Bytes of live allocations currently backed by ``node_id``."""
         return self._arenas[node_id].live_bytes
@@ -166,9 +379,12 @@ class DisaggregatedAllocator:
         """Per-node fraction of capacity holding live allocations.
 
         This is the rebalancer's primary signal, and the same values the
-        ``mem<i>.fill_fraction`` gauges export (one data source).
+        ``mem<i>.fill_fraction`` gauges export (one data source).  A
+        fully drained node (capacity 0) reads as fill 0.0, not a
+        ZeroDivisionError.
         """
-        return [a.live_bytes / a.capacity for a in self._arenas]
+        return [a.live_bytes / a.capacity if a.capacity else 0.0
+                for a in self._arenas]
 
     def phys_available(self, node_id: int) -> int:
         """Physical bytes ``node_id`` could still back (bump + holes)."""
@@ -192,6 +408,12 @@ class DisaggregatedAllocator:
         registry.gauge(
             "alloc.fragmentation_bytes",
             fn=lambda: sum(a.free_bytes for a in self._arenas))
+        registry.gauge("alloc.arena_handles",
+                       fn=lambda: len(self._arena_handles))
+        registry.gauge("alloc.arena_extents",
+                       fn=lambda: self.extent_count)
+        registry.gauge("alloc.arena_fallback_allocs",
+                       fn=lambda: self.arena_fallback_allocs)
         for node_id in range(len(self._arenas)):
             self._register_node_gauges(node_id)
 
@@ -296,7 +518,8 @@ class DisaggregatedAllocator:
         arena = self._arenas[node_id]
         registry = self._registry
         registry.gauge(f"mem{node_id}.fill_fraction",
-                       fn=lambda: arena.live_bytes / arena.capacity)
+                       fn=lambda: (arena.live_bytes / arena.capacity
+                                   if arena.capacity else 0.0))
         registry.gauge(f"mem{node_id}.allocated_bytes",
                        fn=lambda: arena.live_bytes)
         registry.gauge(f"mem{node_id}.free_bytes",

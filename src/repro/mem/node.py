@@ -192,6 +192,15 @@ class GlobalMemory:
     def alloc(self, size: int, preferred_node: Optional[int] = None) -> int:
         return self.allocator.alloc(size, preferred_node)
 
+    def arena(self, structure_id: int, chain_hint=0,
+              preferred_node: Optional[int] = None):
+        """A traversal arena handle (see ``DisaggregatedAllocator.arena``)."""
+        return self.allocator.arena(structure_id, chain_hint,
+                                    preferred_node=preferred_node)
+
+    def new_structure_id(self) -> int:
+        return self.allocator.new_structure_id()
+
     def free(self, vaddr: int) -> None:
         self.allocator.free(vaddr)
 

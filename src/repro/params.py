@@ -262,6 +262,15 @@ class PlacementParams:
     hot_skew_threshold: float = 3.0
     #: migrations launched per rebalance round (bounds churn)
     migrations_per_round: int = 2
+    #: when fill and heat are quiet, also migrate segments to minimize
+    #: *cut edges* in the sampled segment-affinity graph (successor
+    #: edges spanning two memory nodes: one switch hop each per
+    #: traversal that crosses them)
+    cut_edge_objective: bool = True
+    #: minimum decayed affinity gain (external-edge weight recovered
+    #: minus internal-edge weight cut) before a cut move is worth the
+    #: migration churn; also damps move/counter-move oscillation
+    cut_min_gain: float = 1.0
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,16 @@ Decay is applied lazily: a segment's count is scaled by
 ``0.5 ** (elapsed / halflife)`` whenever it is read or written, so idle
 segments cool without a background sweep.  ``placement.hot.*`` gauges
 export the rack-wide view.
+
+Besides per-segment heat, the tracker samples **successor edges**: when
+a taken sample's load follows a load in a *different* segment within the
+same traversal, the (undirected) segment pair gains weight.  The edge
+map is the *segment-affinity graph* -- edge weight estimates how often a
+traversal steps from one segment to the other, and an edge whose two
+endpoints live on different memory nodes is a **cut edge**, i.e. one
+switch hop plus a transport checkpoint per traversal that crosses it.
+Edges ride the same geometric skip, the same ``weight=sample_period``
+unbiasing, the same lazy decay, and the same epsilon prune as segments.
 """
 
 from __future__ import annotations
@@ -57,7 +67,11 @@ class HotnessTracker:
         self._countdown = self._draw_skip()
         #: segment start -> (decayed count, last decay timestamp)
         self._segments: Dict[int, Tuple[float, float]] = {}
+        #: (seg_lo, seg_hi) -> (decayed weight, last decay timestamp);
+        #: the sampled segment-affinity graph, undirected
+        self._edges: Dict[Tuple[int, int], Tuple[float, float]] = {}
         self.samples = 0
+        self.edge_samples = 0
         self._until_prune = self.PRUNE_PERIOD
 
     def _draw_skip(self) -> int:
@@ -86,21 +100,31 @@ class HotnessTracker:
             return count
         return count * 0.5 ** ((now - since) / self.halflife_ns)
 
-    def sample(self, vaddr: int) -> None:
-        """Maybe-record one access (1-in-``sample_period`` sampling)."""
+    def sample(self, vaddr: int, prev: int = 0) -> None:
+        """Maybe-record one access (1-in-``sample_period`` sampling).
+
+        ``prev`` is the traversal's previous load address (0 = none,
+        i.e. this is the traversal's first load).  When the sample is
+        taken and ``prev`` falls in a different segment, the successor
+        edge (prev's segment, vaddr's segment) gains the same unbiased
+        ``sample_period`` weight.
+        """
         self._countdown -= 1
         if self._countdown > 0:
             return
         self._countdown = self._draw_skip()
         self.record(vaddr, weight=float(self.sample_period))
+        if prev:
+            self.record_edge(prev, vaddr, weight=float(self.sample_period))
 
-    def sample_many(self, vaddrs) -> None:
+    def sample_many(self, vaddrs, prevs=None) -> None:
         """Advance the geometric-skip countdown across a whole batch.
 
         Exactly equivalent to calling :meth:`sample` once per address in
         order (same skips from the same RNG stream), but O(samples
         taken) instead of O(addresses) -- the batch tier touches one
-        lane-address vector per lockstep LOAD.
+        lane-address vector per lockstep LOAD.  ``prevs``, if given, is
+        the per-lane previous load address aligned with ``vaddrs``.
         """
         remaining = len(vaddrs)
         position = 0
@@ -110,6 +134,10 @@ class HotnessTracker:
             self._countdown = self._draw_skip()
             self.record(int(vaddrs[position - 1]),
                         weight=float(self.sample_period))
+            prev = int(prevs[position - 1]) if prevs is not None else 0
+            if prev:
+                self.record_edge(prev, int(vaddrs[position - 1]),
+                                 weight=float(self.sample_period))
         self._countdown -= remaining
 
     def record(self, vaddr: int, weight: float = 1.0) -> None:
@@ -124,6 +152,77 @@ class HotnessTracker:
         if self._until_prune <= 0:
             self._until_prune = self.PRUNE_PERIOD
             self._prune(now)
+
+    def record_edge(self, prev_vaddr: int, vaddr: int,
+                    weight: float = 1.0) -> None:
+        """Unconditionally weight the successor edge between the two
+        addresses' segments (no-op for a same-segment step: an internal
+        step can never be a cut edge, so it carries no placement signal).
+        """
+        a = self._segment_of(prev_vaddr)
+        b = self._segment_of(vaddr)
+        if a == b:
+            return
+        key = (a, b) if a < b else (b, a)
+        now = self.clock()
+        count, since = self._edges.get(key, (0.0, now))
+        self._edges[key] = (self._decayed(count, since, now) + weight, now)
+        self.edge_samples += 1
+
+    def edge_weight(self, vaddr_a: int, vaddr_b: int) -> float:
+        """Current decayed weight of the edge between two segments."""
+        a = self._segment_of(vaddr_a)
+        b = self._segment_of(vaddr_b)
+        key = (a, b) if a < b else (b, a)
+        if key not in self._edges:
+            return 0.0
+        count, since = self._edges[key]
+        return self._decayed(count, since, self.clock())
+
+    def hot_edges(self, top_n: int = 0) -> List[Tuple[int, int, float]]:
+        """(seg_a, seg_b, decayed weight) triples, heaviest first.
+
+        Cold edges (below :data:`PRUNE_EPSILON`) are dropped as a side
+        effect, mirroring :meth:`hot_segments`.
+        """
+        now = self.clock()
+        ranked: List[Tuple[int, int, float]] = []
+        dead: List[Tuple[int, int]] = []
+        for (a, b), (count, since) in self._edges.items():
+            current = self._decayed(count, since, now)
+            if current < self.PRUNE_EPSILON:
+                dead.append((a, b))
+            else:
+                ranked.append((a, b, current))
+        for key in dead:
+            del self._edges[key]
+        ranked.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return ranked[:top_n] if top_n else ranked
+
+    def adjacency(self) -> Dict[int, Dict[int, float]]:
+        """Segment -> {neighbor segment -> decayed edge weight}.
+
+        The rebalancer's working view of the affinity graph; built from
+        :meth:`hot_edges` so it also prunes cold edges.
+        """
+        graph: Dict[int, Dict[int, float]] = {}
+        for a, b, weight in self.hot_edges():
+            graph.setdefault(a, {})[b] = weight
+            graph.setdefault(b, {})[a] = weight
+        return graph
+
+    def external_weight(self, vaddr: int, rangemap) -> float:
+        """Summed weight of this segment's cut edges (neighbors owned by
+        a different node under ``rangemap``)."""
+        segment = self._segment_of(vaddr)
+        owner = rangemap.node_of(segment)
+        total = 0.0
+        for a, b, weight in self.hot_edges():
+            if a == segment or b == segment:
+                other = b if a == segment else a
+                if rangemap.node_of(other) != owner:
+                    total += weight
+        return total
 
     def heat_of(self, vaddr: int) -> float:
         """Current decayed count of the segment containing ``vaddr``."""
@@ -155,12 +254,18 @@ class HotnessTracker:
         return ranked[:top_n] if top_n else ranked
 
     def _prune(self, now: float) -> None:
-        """Forget segments whose decayed count has gone cold."""
+        """Forget segments and edges whose decayed count has gone cold."""
         dead = [segment
                 for segment, (count, since) in self._segments.items()
                 if self._decayed(count, since, now) < self.PRUNE_EPSILON]
         for segment in dead:
             del self._segments[segment]
+        dead_edges = [key
+                      for key, (count, since) in self._edges.items()
+                      if self._decayed(count, since, now)
+                      < self.PRUNE_EPSILON]
+        for key in dead_edges:
+            del self._edges[key]
 
     def node_heat(self, rangemap) -> Dict[int, float]:
         """Decayed counts summed per owning node (via the placement map)."""
@@ -174,6 +279,9 @@ class HotnessTracker:
     def attach_metrics(self, registry) -> None:
         registry.gauge("placement.hot.segments", fn=lambda: len(self))
         registry.gauge("placement.hot.samples", fn=lambda: self.samples)
+        registry.gauge("placement.hot.edges", fn=lambda: len(self._edges))
+        registry.gauge("placement.hot.edge_samples",
+                       fn=lambda: self.edge_samples)
 
         def peak() -> float:
             ranked = self.hot_segments(top_n=1)

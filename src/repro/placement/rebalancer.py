@@ -1,7 +1,7 @@
 """The placement control loop: watch fill + heat, schedule migrations.
 
 A background simulation process wakes every ``rebalance_interval_ns``
-and asks two questions, in priority order:
+and asks three questions, in priority order:
 
 1. **Fill imbalance** -- is the gap between the fullest and emptiest
    allocatable node's fill fraction above the threshold?  If so, shed
@@ -11,8 +11,17 @@ and asks two questions, in priority order:
 2. **Hotness skew** -- is one node's decayed access heat more than
    ``hot_skew_threshold`` times the active-node mean?  If so, move its
    *hottest* segments to the coldest node, spreading the serving load.
+3. **Cut edges** -- with fill and heat both quiet, are traversals still
+   crossing nodes?  The tracker's sampled *successor edges* form a
+   segment-affinity graph; an edge whose endpoints live on different
+   nodes is a cut edge, costing one switch hop plus a transport
+   checkpoint per crossing.  Greedily move the segment with the largest
+   affinity gain (external edge weight recovered minus internal edge
+   weight newly cut) next to its heaviest neighbors, widened to its
+   covering chain arena extent so a chain moves whole.  Guarded so a
+   move never opens a fill gap the fill phase would immediately revert.
 
-Both paths bound work per round (``migrations_per_round``) so the loop
+All paths bound work per round (``migrations_per_round``) so the loop
 never floods the fabric with copies; convergence happens over rounds.
 This is also what makes ``cluster.add_node()`` useful: the new node
 starts empty and cold, so the very next rounds migrate data onto it.
@@ -38,6 +47,7 @@ class Rebalancer:
         self.rangemap = engine.rangemap
         self.rounds = 0
         self.migrations = 0
+        self.cut_moves = 0
         self._running = False
         self._proc = None
         if registry is not None:
@@ -45,6 +55,8 @@ class Rebalancer:
                            fn=lambda: self.rounds)
             registry.gauge("placement.rebalance.migrations",
                            fn=lambda: self.migrations)
+            registry.gauge("placement.rebalance.cut_moves",
+                           fn=lambda: self.cut_moves)
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -98,20 +110,118 @@ class Rebalancer:
             return moved
 
         heat = self.tracker.node_heat(self.rangemap)
-        if not heat:
+        if heat:
+            active_heat = {n: heat.get(n, 0.0) for n in active}
+            mean = sum(active_heat.values()) / len(active)
+            if mean > 0:
+                hottest = max(active, key=lambda n: active_heat[n])
+                if (active_heat[hottest] / mean
+                        >= self.params.hot_skew_threshold):
+                    coldest = min(active, key=lambda n: active_heat[n])
+                    moved = yield from self._shed(
+                        hottest, coldest,
+                        (self.params.migrations_per_round
+                         * self.params.segment_bytes),
+                        prefer_cold=False)
+                    return moved
+
+        if getattr(self.params, "cut_edge_objective", False):
+            moved = yield from self._cut_phase(active, fills)
+            return moved
+        return 0
+
+    def _cut_phase(self, active, fills):
+        """Co-locate affine segments: greedy cut-edge contraction.
+
+        For every segment incident to a cut edge, the *gain* of moving
+        it to a neighbor-owning node is the decayed edge weight it would
+        turn internal minus the weight it would newly cut.  Apply the
+        best strictly-positive gains (``cut_min_gain`` floors the churn)
+        up to ``migrations_per_round``, widening each move to the
+        segment's covering chain-arena extent so chains travel whole.
+        """
+        adjacency = self.tracker.adjacency()
+        if not adjacency:
             return 0
-        active_heat = {n: heat.get(n, 0.0) for n in active}
-        mean = sum(active_heat.values()) / len(active)
-        if mean <= 0:
-            return 0
-        hottest = max(active, key=lambda n: active_heat[n])
-        if active_heat[hottest] / mean < self.params.hot_skew_threshold:
-            return 0
-        coldest = min(active, key=lambda n: active_heat[n])
-        moved = yield from self._shed(
-            hottest, coldest,
-            self.params.migrations_per_round * self.params.segment_bytes,
-            prefer_cold=False)
+        allocator = self.memory.allocator
+        active_set = set(active)
+        segment_bytes = self.params.segment_bytes
+        capacity = self.memory.addrspace.node_capacity
+        min_fill = min(fills[n] for n in active)
+        plans = []  # (-gain, segment, target)
+        for segment, neighbors in adjacency.items():
+            home = self.rangemap.node_of(segment)
+            if home is None or home not in active_set:
+                continue
+            per_node = {}
+            for other, weight in neighbors.items():
+                owner = self.rangemap.node_of(other)
+                if owner is not None:
+                    per_node[owner] = per_node.get(owner, 0.0) + weight
+            internal = per_node.get(home, 0.0)
+            for target, external in per_node.items():
+                if target == home or target not in active_set:
+                    continue
+                gain = external - internal
+                if gain <= self.params.cut_min_gain:
+                    continue
+                plans.append((-gain, segment, target))
+        # Deterministic greedy order: best gain first, then segment id.
+        plans.sort()
+        launched = 0
+        moved = 0
+        done = set()
+        for _neg_gain, segment, target in plans:
+            if launched >= self.params.migrations_per_round:
+                break
+            # Revalidate the gain against *current* ownership: an
+            # earlier move this round may have already pulled this
+            # segment's neighbors over (or moved the segment itself).
+            # Without this, two mutually-affine segments on different
+            # nodes both plan a move toward each other, swap places,
+            # and ping-pong forever; with it every applied move
+            # strictly shrinks the total cut weight, so the greedy
+            # loop terminates.
+            home = self.rangemap.node_of(segment)
+            if home is None or home not in active_set or home == target:
+                continue
+            internal = 0.0
+            external = 0.0
+            for other, weight in adjacency.get(segment, {}).items():
+                owner = self.rangemap.node_of(other)
+                if owner == home:
+                    internal += weight
+                elif owner == target:
+                    external += weight
+            if external - internal <= self.params.cut_min_gain:
+                continue
+            start, end = segment, segment + segment_bytes
+            extent = allocator.arena_extent_of(segment)
+            if extent is not None:
+                # Ship the whole chain arena extent with its segment.
+                start = min(start, extent[0])
+                end = max(end, extent[1])
+            if (start, end) in done:
+                continue
+            done.add((start, end))
+            # The widened span must still be wholly donor-owned (an
+            # earlier shear can split an extent across owners).
+            owners = {self.rangemap.node_of(x)
+                      for x in range(start, end, segment_bytes)}
+            owners.add(self.rangemap.node_of(end - 1))
+            if owners != {home}:
+                continue
+            # Fill guard: never open a gap the fill phase would revert.
+            grown = fills[target] + (end - start) / capacity
+            if grown - min_fill > self.params.fill_imbalance_threshold:
+                continue
+            launched += 1
+            mapped = yield from self.engine.migrate(start, end, target)
+            self.migrations += 1
+            self.cut_moves += 1
+            moved += mapped
+            fills = allocator.node_fill_fractions()
+            min_fill = min(fills[n] for n in active)
         return moved
 
     def _shed(self, donor: int, receiver: int, want_bytes: int,
@@ -160,11 +270,31 @@ class Rebalancer:
 
     def _candidates(self, donor: int,
                     prefer_cold: bool) -> List[Tuple[int, int]]:
-        """Donor-owned mapped segments, ordered by heat."""
+        """Donor-owned mapped segments, scored by (heat, external-edge
+        weight), tie-broken by segment id.
+
+        The heat phase moves hot pieces first and, among equals, the
+        ones with the most *cut-edge* weight -- moving those both sheds
+        load and removes switch hops.  The cold/fill phase prefers cold
+        pieces with *low* external affinity, so evening capacity avoids
+        shearing a chain away from its traversal neighbors.  The segment
+        id tie-break makes each round's plan reproducible across
+        sharded and unsharded runs (dict/scan order must not decide).
+        """
         segment = self.params.segment_bytes
-        spans: List[Tuple[float, int, int]] = []
+        spans: List[Tuple[float, float, int, int]] = []
         owned = self.rangemap.rules_of(donor)
         table = self.memory.nodes[donor].table
+        adjacency = self.tracker.adjacency()
+
+        def external(vaddr: int) -> float:
+            seg_start = self.tracker._segment_of(vaddr)
+            home = self.rangemap.node_of(seg_start)
+            return sum(
+                weight
+                for other, weight in adjacency.get(seg_start, {}).items()
+                if self.rangemap.node_of(other) != home)
+
         for entry in table.entries:
             for rule_start, rule_end in owned:
                 start = max(entry.virt_start, rule_start)
@@ -177,7 +307,11 @@ class Rebalancer:
                 while cursor < end:
                     piece_end = min(cursor + segment, end)
                     heat = self.tracker.heat_of(cursor)
-                    spans.append((heat, cursor, piece_end))
+                    ext = external(cursor)
+                    spans.append((heat, ext, cursor, piece_end))
                     cursor = piece_end
-        spans.sort(key=lambda item: item[0] if prefer_cold else -item[0])
-        return [(start, end) for _heat, start, end in spans]
+        if prefer_cold:
+            spans.sort(key=lambda item: (item[0], item[1], item[2]))
+        else:
+            spans.sort(key=lambda item: (-item[0], -item[1], item[2]))
+        return [(start, end) for _heat, _ext, start, end in spans]

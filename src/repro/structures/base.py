@@ -23,6 +23,16 @@ class DisaggregatedStructure:
     ``placement`` maps an allocation ordinal to a preferred memory node
     (or None for the allocator's policy); structures use it to implement
     the partitioned-vs-uniform comparison of Supp Fig 2.
+
+    Every structure allocates through *traversal arenas*
+    (``repro.mem.allocator.TraversalArena``): ``_alloc_node`` routes the
+    request to the arena named by ``chain_hint`` -- the structure's unit
+    of traversal locality (a hash bucket, a subtree, one chain) -- so
+    nodes traversed together land in contiguous virtual extents the
+    rebalancer can migrate whole.  The placement callable is honored
+    exactly as before: the resolved preferred node is part of the arena
+    key, so ``placement=lambda o: o % N`` still pins each allocation to
+    the node it named (each (chain, node) pair just gets its own arena).
     """
 
     def __init__(self, memory: GlobalMemory,
@@ -30,13 +40,17 @@ class DisaggregatedStructure:
         self.memory = memory
         self._placement = placement
         self._alloc_ordinal = 0
+        self._structure_id = memory.new_structure_id()
 
-    def _alloc_node(self, size: int) -> int:
-        node = None
-        if self._placement is not None:
+    def _alloc_node(self, size: int, chain_hint=0,
+                    preferred_node: Optional[int] = None) -> int:
+        node = preferred_node
+        if node is None and self._placement is not None:
             node = self._placement(self._alloc_ordinal)
         self._alloc_ordinal += 1
-        return self.memory.alloc(size, preferred_node=node)
+        arena = self.memory.arena(self._structure_id, chain_hint,
+                                  preferred_node=node)
+        return arena.alloc(size)
 
     @staticmethod
     def check_key(key: int) -> int:

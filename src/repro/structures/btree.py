@@ -381,10 +381,17 @@ class BPlusTree(DisaggregatedStructure):
             return self._placement(self._alloc_ordinal)
         return None
 
-    def _alloc_tree_node(self, min_key: int) -> int:
+    def _alloc_tree_node(self, min_key: int, chain_hint=("leaves",)) -> int:
+        # Arena per (chain, resolved node): bulk-loaded leaves fill one
+        # arena in key order -- consecutive leaves and their next_leaf
+        # chain stay extent-contiguous -- and each internal level gets
+        # its own arena, so the root-side levels every traversal crosses
+        # cluster into a few migratable extents.
         node = self._preferred_node(min_key)
         self._alloc_ordinal += 1
-        return self.memory.alloc(self.layout.size, preferred_node=node)
+        arena = self.memory.arena(self._structure_id, chain_hint,
+                                  preferred_node=node)
+        return arena.alloc(self.layout.size)
 
     # -- node IO -------------------------------------------------------------
     def _write_node(self, addr: int, is_leaf: bool, keys: Sequence[int],
@@ -463,7 +470,8 @@ class BPlusTree(DisaggregatedStructure):
             group = self.fanout + 1
             for start in range(0, len(level), group):
                 chunk = level[start:start + group]
-                addr = self._alloc_tree_node(chunk[0][0])
+                addr = self._alloc_tree_node(chunk[0][0],
+                                             chain_hint=("level", height))
                 self._write_node(
                     addr, False,
                     [min_key for min_key, _ in chunk[1:]],
@@ -484,7 +492,8 @@ class BPlusTree(DisaggregatedStructure):
         """Standard top-down insert with leaf/internal splits."""
         key = self.check_key(key)
         if self.root == NULL:
-            addr = self._alloc_node(self.layout.size)
+            addr = self._alloc_node(self.layout.size,
+                                    chain_hint=("leaves",))
             self._write_node(addr, True, [key], [self._as_u64(value)])
             self.root = addr
             self.height = 1
@@ -493,7 +502,8 @@ class BPlusTree(DisaggregatedStructure):
         split = self._insert_into(self.root, key, value)
         if split is not None:
             sep_key, right_addr = split
-            new_root = self._alloc_node(self.layout.size)
+            new_root = self._alloc_node(self.layout.size,
+                                        chain_hint=("internal",))
             self._write_node(new_root, False, [sep_key],
                              [self.root, right_addr])
             self.root = new_root
@@ -521,7 +531,8 @@ class BPlusTree(DisaggregatedStructure):
                 return None
             # Split the leaf.
             mid = len(keys) // 2
-            right = self._alloc_node(self.layout.size)
+            right = self._alloc_node(self.layout.size,
+                                     chain_hint=("leaves",))
             self._write_node(right, True, keys[mid:], values[mid:],
                              next_leaf)
             self._write_node(addr, True, keys[:mid], values[:mid], right)
@@ -539,7 +550,8 @@ class BPlusTree(DisaggregatedStructure):
             self._write_node(addr, False, keys, children)
             return None
         mid = len(keys) // 2
-        right = self._alloc_node(self.layout.size)
+        right = self._alloc_node(self.layout.size,
+                                 chain_hint=("internal",))
         self._write_node(right, False, keys[mid + 1:],
                          children[mid + 1:])
         self._write_node(addr, False, keys[:mid], children[:mid + 1])

@@ -139,7 +139,11 @@ class DisaggregatedGraph(DisaggregatedStructure):
         vertex_id = self.check_key(vertex_id)
         if vertex_id in self._addresses:
             raise StructureError(f"vertex {vertex_id} already exists")
-        addr = self._alloc_node(VERTEX.size)
+        # Adjacency runs: vertices with nearby ids (BFS frontiers in the
+        # synthetic workloads) share an arena, so neighbor expansion
+        # mostly stays inside one extent / one memory node.
+        addr = self._alloc_node(VERTEX.size,
+                                chain_hint=("run", vertex_id // 16))
         self.memory.write(addr, VERTEX.pack(
             id=vertex_id, value=value, degree=0,
             nbrs=[NULL] * MAX_DEGREE))

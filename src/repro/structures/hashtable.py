@@ -171,9 +171,12 @@ class HashTable(DisaggregatedStructure):
         self.size = 0
         self._sentinels: List[int] = []
         for bucket in range(buckets):
-            node = self._node_for_bucket(bucket)
-            addr = self.memory.alloc(self.layout.size,
-                                     preferred_node=node)
+            # One arena per bucket: the sentinel and every later insert
+            # into the bucket share contiguous extents, so a chain walk
+            # stays on one memory node until the extent spills.
+            addr = self._alloc_node(
+                self.layout.size, chain_hint=bucket,
+                preferred_node=self._node_for_bucket(bucket))
             self.memory.write(addr, self.layout.pack(
                 key=SENTINEL_KEY, next=NULL))
             self._sentinels.append(addr)
@@ -202,8 +205,8 @@ class HashTable(DisaggregatedStructure):
         sentinel = self._sentinels[bucket]
         next_offset = self.layout.offset("next")
         first = self.memory.read_u64(sentinel + next_offset)
-        addr = self.memory.alloc(
-            self.layout.size,
+        addr = self._alloc_node(
+            self.layout.size, chain_hint=bucket,
             preferred_node=self._node_for_bucket(bucket))
         self.memory.write(addr, self.layout.pack(
             key=key, next=first, value=value))

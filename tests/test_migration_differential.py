@@ -88,6 +88,47 @@ def test_migration_storm_is_value_transparent(structure):
     assert moving_cluster.placement.engine.completed >= 2
 
 
+def test_arena_chain_storm_is_value_transparent():
+    """Storm whole chain-arena extents: byte-identical, zero losses.
+
+    Structures now allocate through per-chain traversal arenas, and the
+    rebalancer's cut phase ships those extents as a unit -- so the
+    transparency guarantee must hold when the migration unit is an
+    arena extent (many live nodes per move), not a placement rule.
+    """
+    static_cluster, static_iter = build_cluster("linkedlist")
+    moving_cluster, moving_iter = build_cluster("linkedlist")
+    baseline = run_stream(static_cluster, static_iter, storm=False)
+
+    extents = moving_cluster.memory.allocator.arena_extents()
+    assert extents, "linked list no longer allocates through an arena"
+
+    pending = [moving_cluster.submit(moving_iter, k) for k in range(KEYS)]
+
+    def arena_storm():
+        for _round in range(3):
+            for start, end in extents:
+                home = moving_cluster.memory.placement.node_of(start)
+                if home is None:
+                    continue
+                yield moving_cluster.env.process(
+                    moving_cluster.placement.engine.migrate(
+                        start, end, 1 - home))
+                yield moving_cluster.env.timeout(5_000.0)
+
+    storm_proc = moving_cluster.env.process(arena_storm())
+    for p in pending:
+        if not p.done:
+            moving_cluster.env.run(until=p._process)
+    moving_cluster.env.run(until=storm_proc)
+    stormed = [p.result for p in pending]
+
+    assert all(r.ok for r in stormed), [
+        r.fault for r in stormed if not r.ok]
+    assert [r.value for r in stormed] == [r.value for r in baseline]
+    assert moving_cluster.placement.engine.completed >= 2 * len(extents)
+
+
 def test_storm_with_drain_and_scale_out():
     """Scale-out then drain under load: values still identical."""
     cluster, iterator = build_cluster("hashtable")

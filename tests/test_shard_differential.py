@@ -71,13 +71,34 @@ def migration_storm(cluster):
     return storm()
 
 
-def run_stream(cluster, iterator, workers=0, storm=False, batch=False):
+def arena_storm(cluster):
+    """Ping-pong every chain-arena extent whole between two nodes.
+
+    The arena-extent list is sorted by virtual start and identical in
+    every replica, so the storm replays deterministically when sharded.
+    """
+    def storm():
+        extents = cluster.memory.allocator.arena_extents()
+        for _round in range(3):
+            for start, end in extents:
+                home = cluster.memory.placement.node_of(start)
+                if home is None:
+                    continue
+                yield cluster.env.process(
+                    cluster.placement.engine.migrate(start, end,
+                                                     1 - home))
+                yield cluster.env.timeout(5_000.0)
+    return storm()
+
+
+def run_stream(cluster, iterator, workers=0, storm=False, batch=False,
+               storm_fn=migration_storm):
     """Run the canonical stream; returns (results, snapshot, end_ns)."""
-    replicated = (migration_storm,) if storm else ()
+    replicated = (storm_fn,) if storm else ()
     runtime = cluster.shard(workers=workers,
                             replicated=replicated) if workers else None
     if storm and runtime is None:
-        cluster.env.process(migration_storm(cluster))
+        cluster.env.process(storm_fn(cluster))
     if batch:
         pending = cluster.submit_many([(iterator, (k,))
                                        for k in range(KEYS)])
@@ -138,6 +159,21 @@ def test_sharded_migration_storm_is_byte_identical(workers):
     sharded = run_stream(sharded_cluster, iterator, workers=workers,
                          storm=True)
     # The storm actually migrated in the sharded replicas too.
+    assert sharded_cluster.placement.engine.completed >= 2
+    assert_identical(baseline, sharded, workers)
+
+
+@pytest.mark.parametrize("structure", ["chain", "skiplist"])
+@pytest.mark.parametrize("workers", (1, 2))
+def test_sharded_arena_storm_is_byte_identical(structure, workers):
+    """Storming whole chain arenas stays byte-identical when sharded."""
+    baseline = run_stream(*build_cluster(structure, node_count=2,
+                                         params=storm_params()),
+                          storm=True, storm_fn=arena_storm)
+    sharded_cluster, iterator = build_cluster(structure, node_count=2,
+                                              params=storm_params())
+    sharded = run_stream(sharded_cluster, iterator, workers=workers,
+                         storm=True, storm_fn=arena_storm)
     assert sharded_cluster.placement.engine.completed >= 2
     assert_identical(baseline, sharded, workers)
 

@@ -42,7 +42,12 @@ def build_cluster(structure, indexed):
         for k in range(KEYS):
             table.insert(k, bytes([k, k ^ 0xFF]) * 4)
         return cluster, table, table.find_iterator()
-    tree = BPlusTree(cluster.memory, fanout=8)
+    # Spread leaves across both nodes explicitly: the arena allocator
+    # would otherwise pack this small tree into one extent on one node,
+    # and the storm would stale *every* hint at once -- the
+    # epoch-refresh repair path (node still owns the address under a
+    # newer placement version) needs survivors on the untouched node.
+    tree = BPlusTree(cluster.memory, fanout=8, placement=lambda o: o % 2)
     for k in range(KEYS):
         tree.insert(k, k * 7 + 3)
     return cluster, tree, tree.lookup_iterator()
