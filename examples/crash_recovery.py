@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Crash a memory node under load, watch recovery instead of data loss.
+
+Builds a 4-node rack with the durability subsystem enabled (replicated
+redo logging), updates every key so each node holds acknowledged
+writes, then kills a node mid-workload.  The switch reclaims in-flight
+frames and re-injects them at the elected replica owners, recovery
+replays the redo log onto the re-homed ranges, and every acknowledged
+write reads back -- clients see elevated tail latency, never faults.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import PulseCluster
+from repro.bench.driver import run_workload
+from repro.durability import CrashInjector
+from repro.params import DurabilityParams, SystemParams, TransportParams
+from repro.structures import HashTable
+
+KEYS = 512
+REQUESTS = 1_024
+CONCURRENCY = 32
+VICTIM = 1
+
+
+def build_rack():
+    params = SystemParams().with_overrides(
+        durability=DurabilityParams(enabled=True,
+                                    group_commit_ns=4_000.0,
+                                    failure_detect_ns=20_000.0),
+        # Arm per-hop reliability everywhere so the switch still holds
+        # every unacked frame it sent into the dead node -- the frames
+        # failover re-injects at the new owners.
+        transport=TransportParams(mode="always"),
+    )
+    cluster = PulseCluster(node_count=4, params=params, seed=11)
+    table = HashTable(cluster.memory, buckets=KEYS // 4,
+                      partition_nodes=4)
+    for key in range(KEYS):
+        table.insert(key, (10_000 + key).to_bytes(8, "little"))
+    return cluster, table
+
+
+def find_ops(table):
+    finder = table.find_iterator()
+    return [(finder, (k % KEYS,)) for k in range(REQUESTS)]
+
+
+def main() -> None:
+    cluster, table = build_rack()
+
+    print("=== phase 1: durable updates on every key ===")
+    updates = [(table.update_iterator(), (k, 20_000 + k))
+               for k in range(KEYS)]
+    stats = run_workload(cluster, updates, concurrency=CONCURRENCY)
+    counters = cluster.metrics_snapshot()["counters"]
+    flushes = sum(v for name, v in counters.items()
+                  if name.endswith(".dur.flushes"))
+    replicated = sum(v for name, v in counters.items()
+                     if name.endswith(".dur.replica_tx_records"))
+    print(f"  {stats.completed} updates acknowledged, 0 faults: "
+          f"{flushes} group commits, {replicated} records replicated")
+
+    print("\n=== phase 2: quiet find workload ===")
+    quiet = run_workload(cluster, find_ops(table),
+                         concurrency=CONCURRENCY)
+    quiet_p99 = quiet.percentile_latency_ns(99.0)
+    print(f"  p50 {quiet.percentile_latency_ns(50.0) / 1000:6.1f} us   "
+          f"p99 {quiet_p99 / 1000:6.1f} us   faults {quiet.faults}")
+
+    print(f"\n=== phase 3: same workload, mem{VICTIM} crashes "
+          "mid-run ===")
+    cluster.env.process(CrashInjector(VICTIM, 10_000.0)(cluster))
+    crash = run_workload(cluster, find_ops(table),
+                         concurrency=CONCURRENCY)
+    crash_p99 = crash.percentile_latency_ns(99.0)
+    print(f"  p50 {crash.percentile_latency_ns(50.0) / 1000:6.1f} us   "
+          f"p99 {crash_p99 / 1000:6.1f} us   faults {crash.faults}")
+
+    snap = cluster.metrics_snapshot()
+    counters = snap["counters"]
+    ttr_us = snap["gauges"]["recovery.time_to_recover_ns"] / 1000
+    print(f"  recovery: {counters['recovery.ranges_rehomed']} ranges "
+          f"re-homed in {ttr_us:.1f} us, "
+          f"{counters['recovery.bytes_replayed'] / 1024:.0f} KB "
+          "replayed, "
+          f"{counters['switch.reinjected_frames']} in-flight frames "
+          "re-injected")
+
+    print("\n=== read back every acknowledged update ===")
+    lost = 0
+    for key in range(KEYS):
+        result = cluster.run_traversal(table.find_iterator(), key)
+        value = int.from_bytes(result.value[:8], "little")
+        if not result.ok or value != 20_000 + key:
+            lost += 1
+    print(f"  lost acknowledged writes: {lost} / {KEYS}")
+    assert lost == 0 and crash.faults == 0
+    print(f"\ncrash p99 / quiet p99: {crash_p99 / quiet_p99:.1f}x "
+          "(latency, not data loss)")
+
+
+if __name__ == "__main__":
+    main()

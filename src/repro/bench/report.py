@@ -25,7 +25,7 @@ SCHEMA_VERSION = 1
 #: headline snapshots also mirrored to ``BENCH_<name>.json`` at the
 #: repo root, where CI uploads and readers expect the latest numbers
 HEADLINE_SNAPSHOTS = ("wallclock", "goodput_loss", "migration",
-                      "split_index", "affinity")
+                      "split_index", "affinity", "recovery")
 
 #: repo root (this file lives at src/repro/bench/report.py)
 REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -89,6 +89,12 @@ SECTIONS: List[Tuple[str, str, str]] = [
      "placement.hops_per_traversal on graph and B+-tree workloads "
      "under multi-node Zipfian skew, before and after cut-edge-aware "
      "rebalancing of chain arenas (vs the heat-only objective)."),
+    ("ext_recovery", "Extension — durability & crash recovery",
+     "Zipfian finds over durably updated keys while a memory node "
+     "crashes mid-run: zero lost acknowledged writes, zero faults, "
+     "bounded time-to-recover, and a crash p99 within a fixed factor "
+     "of the quiet rack (replicated redo logs + switch-side failover "
+     "re-injection)."),
 ]
 
 

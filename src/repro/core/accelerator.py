@@ -29,9 +29,11 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List, Optional
 
-from repro.core.messages import (DIRECT_READ_KIND, DirectReadReply,
-                                 DirectReadRequest, RequestStatus,
-                                 TraversalBatch, TraversalRequest)
+from repro.core.messages import (DIRECT_READ_KIND, DURABILITY_KIND,
+                                 DirectReadReply, DirectReadRequest,
+                                 ReplicateAck, ReplicateRecords,
+                                 RequestStatus, TraversalBatch,
+                                 TraversalRequest)
 from repro.core.scheduling import FairWorkspacePool, FifoWorkspacePool
 from repro.core.workspace import BatchMachinePool, MachinePool
 from repro.isa.batchmachine import get_batch_plan, np, resolve_batch_lanes
@@ -255,6 +257,12 @@ class Accelerator:
         #: but unmapped and owned elsewhere has migrated away).
         self.hotness = None
         self.placement_map = None
+        #: optional durability hooks, attached by
+        #: :class:`~repro.durability.service.DurabilityService`: this
+        #: node's redo log / group-commit state.  ``dead`` is the crash
+        #: flag -- a powered-off node receives and transmits nothing.
+        self.durability = None
+        self.dead = False
         #: round-robin core cursor for split-index direct reads (they
         #: use a core's memory pipeline but never need a workspace)
         self._dr_core = 0
@@ -298,6 +306,8 @@ class Accelerator:
     def _rx_loop(self):
         while True:
             message = yield self.session.inbox.get()
+            if self.dead:
+                continue
             self.env.process(self._handle(message))
 
     def _handle(self, message: Message):
@@ -312,6 +322,15 @@ class Accelerator:
 
         if isinstance(payload, DirectReadRequest):
             yield from self._serve_direct_read(payload)
+            return
+
+        if isinstance(payload, ReplicateRecords):
+            yield from self._serve_replication(payload)
+            return
+
+        if isinstance(payload, ReplicateAck):
+            if self.durability is not None:
+                self.durability.on_ack(payload)
             return
 
         if isinstance(payload, TraversalBatch):
@@ -442,10 +461,19 @@ class Accelerator:
         """One request's life after admission: workspace, execute, reply."""
         core_id = yield self.workspaces.acquire(request.tenant)
         core = self.cores[core_id]
+        dirty: List[int] = []
         try:
-            response = yield from self._execute(core, request)
+            response = yield from self._execute(core, request, dirty)
         finally:
             self.workspaces.release(core_id)
+        if dirty:
+            # Commit-wait: the response -- whatever its status -- must
+            # not acknowledge STOREs that could still be lost with this
+            # node.  The workspace is already released; only the reply
+            # is parked until the group commit replicates.
+            wait = self.durability.wait_durable(max(dirty))
+            if wait is not None:
+                yield wait
         self.tracer.record(self.name, "execute", request.request_id,
                            core=core_id,
                            iterations=(response.iterations_done
@@ -467,8 +495,26 @@ class Accelerator:
         finally:
             self.workspaces.release(core_id)
 
+    def _serve_replication(self, message: ReplicateRecords):
+        """Apply a peer's redo-log flush and ack it (timed tx)."""
+        acc = self.params.accelerator
+        if self.durability is not None:
+            self.durability.apply_replica(message)
+        ack = ReplicateAck(src_node=self.node.node_id,
+                           flush_id=message.flush_id)
+        yield from self._hold(self.tx_unit, acc.netstack_occupancy_ns)
+        yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
+        self._span_netstack.record(acc.netstack_ns)
+        self.session.send(f"mem{message.src_node}", DURABILITY_KIND, ack,
+                          ack.wire_bytes(), segments=1)
+
     def _respond(self, response: TraversalRequest):
         """Deparse and transmit one response (responses never batch)."""
+        if self.dead:
+            # A powered-off node transmits nothing; in-flight serves
+            # finish silently and the switch-side takeover resumes (or
+            # the client's end-to-end retry re-executes) the request.
+            return
         acc = self.params.accelerator
         yield from self._hold(self.tx_unit, acc.netstack_occupancy_ns)
         yield self.env.timeout(acc.netstack_ns - acc.netstack_occupancy_ns)
@@ -479,7 +525,8 @@ class Accelerator:
         self.session.send(self.switch_name, PULSE_KIND, response,
                           response.wire_bytes(), segments=1)
 
-    def _execute(self, core: AcceleratorCore, request: TraversalRequest):
+    def _execute(self, core: AcceleratorCore, request: TraversalRequest,
+                 dirty: Optional[List[int]] = None):
         """Run iterations until done, rerouted, faulted, or out of budget."""
         acc = self.params.accelerator
         program = request.program
@@ -496,14 +543,15 @@ class Accelerator:
                                         0, RequestStatus.FAULT, str(exc))
             response = yield from self._iterate(core, machine, request,
                                                 window_offset, window_size,
-                                                acc)
+                                                acc, dirty)
             return response
         finally:
             core.workspace.release(machine)
 
     def _iterate(self, core: AcceleratorCore, machine: IteratorMachine,
                  request: TraversalRequest, window_offset: int,
-                 window_size: int, acc):
+                 window_size: int, acc,
+                 dirty: Optional[List[int]] = None):
         """The per-iteration memory/logic loop of one admitted request."""
         program = request.program
         iterations = 0
@@ -561,7 +609,7 @@ class Accelerator:
 
             try:
                 step = machine.run_iteration(
-                    self._read_fn(entry), self._write_fn())
+                    self._read_fn(entry), self._write_fn(dirty))
             except (ExecutionFault, ProtectionFault,
                     TranslationFault) as exc:
                 self._m_faults.inc()
@@ -852,8 +900,20 @@ class Accelerator:
 
         return read
 
-    def _write_fn(self):
-        return self.node.write_virt
+    def _write_fn(self, dirty: Optional[List[int]] = None):
+        write_virt = self.node.write_virt
+        durability = self.durability
+        if durability is None or dirty is None:
+            return write_virt
+
+        def write(vaddr: int, data: bytes) -> None:
+            # The STORE applies to DRAM and journals into the redo log
+            # in one step; the response path commit-waits on the dirty
+            # LSNs before acknowledging (group commit).
+            write_virt(vaddr, data)
+            dirty.append(durability.journal(vaddr, data))
+
+        return write
 
     def _hold(self, resource: Resource, duration: float):
         grant = resource.request()

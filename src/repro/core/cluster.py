@@ -24,6 +24,7 @@ from repro.core.client import PendingTraversal, PulseClient
 from repro.core.iterator import PulseIterator, TraversalResult
 from repro.core.offload import OffloadEngine
 from repro.core.switch import PulseSwitch
+from repro.durability import DurabilityError, DurabilityService
 from repro.index import SplitIndexDirectory
 from repro.mem.allocator import PlacementPolicy
 from repro.mem.node import GlobalMemory
@@ -107,6 +108,17 @@ class PulseCluster:
                                           tracer=self.tracer, seed=seed)
         for acc in self.accelerators:
             self.placement.attach_accelerator(acc)
+        #: replicated redo logging + crash recovery (None when the
+        #: ``params.durability.enabled`` knob is off -- the default, so
+        #: a durability-free rack pays nothing)
+        self.durability: Optional[DurabilityService] = None
+        if self.params.durability.enabled:
+            self.durability = DurabilityService(self.env, self.memory,
+                                                self.params, self.registry)
+            self.memory.durability = self.durability
+            for acc in self.accelerators:
+                self.durability.attach_accelerator(acc)
+            self.durability.switch = self.switch
         if client_count < 1:
             raise ValueError("need at least one CPU node")
         self.engines: List[OffloadEngine] = [
@@ -206,7 +218,48 @@ class PulseCluster:
         self.accelerators.append(acc)
         self.placement.on_node_added(node.node_id)
         self.placement.attach_accelerator(acc)
+        if self.durability is not None:
+            self.durability.on_node_added(node.node_id)
+            self.durability.attach_accelerator(acc)
         return node.node_id
+
+    def kill_node(self, node_id: int) -> None:
+        """Crash one memory node at the current simulated instant.
+
+        The node's accelerator stops receiving, its transmissions
+        vanish at the NIC, and its DRAM contents are considered lost;
+        the durability subsystem's :class:`~repro.durability.recovery.
+        RecoveryManager` then re-homes its ranges onto elected replica
+        owners and replays the redo log.  Requires
+        ``params.durability.enabled`` -- without replicated logs a crash
+        would silently lose acknowledged writes, which this simulator
+        refuses to model as a supported operation.
+
+        Under sharding the kill is broadcast as a control record so
+        every replica applies it at the identical instant of the next
+        sync window.  For a deterministic mid-run schedule, prefer a
+        :class:`~repro.durability.recovery.CrashInjector` passed as a
+        replicated factory to :meth:`shard`.
+        """
+        if self.sharded:
+            self.runtime.kill_node(node_id)
+            return
+        self._kill_node_local(node_id)
+
+    def _kill_node_local(self, node_id: int) -> None:
+        """Apply the crash in this process (see :meth:`kill_node`)."""
+        if self.durability is None:
+            raise DurabilityError(
+                "kill_node requires params.durability.enabled: without "
+                "replicated redo logs a crash loses acknowledged writes")
+        acc = self.accelerators[node_id]
+        if acc.dead:
+            return
+        acc.dead = True
+        acc.session.channel.powered_off = True
+        self.memory.allocator.set_allocatable(node_id, False)
+        self.durability.on_node_dead(node_id)
+        self.env.process(self.durability.recovery.recover(node_id))
 
     def drain_node(self, node_id: int):
         """Scale in: migrate everything off ``node_id``.

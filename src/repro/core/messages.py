@@ -146,6 +146,46 @@ class TraversalRequest:
 #: these frames -- they travel client <-> memory node directly
 DIRECT_READ_KIND = "direct_read"
 
+#: fabric message kind for redo-log replication traffic; like direct
+#: reads it travels memory node <-> memory node without switch routing
+DURABILITY_KIND = "durability"
+
+
+@dataclass(frozen=True)
+class ReplicateRecords:
+    """One flush's redo-log records shipped to a replica peer.
+
+    ``src_node`` names the flushing home node (where the ack returns);
+    ``flush_id`` identifies the group commit so the home can match acks
+    to the flush they cover.  ``records`` are opaque to the transport --
+    each exposes a ``wire_bytes`` size (header + payload) charged to the
+    fabric like any other message.
+    """
+
+    src_node: int
+    flush_id: int
+    records: tuple
+
+    def wire_bytes(self) -> int:
+        return (FRAME_BYTES + HEADER_BYTES
+                + sum(record.wire_bytes for record in self.records))
+
+
+@dataclass(frozen=True)
+class ReplicateAck:
+    """A replica peer's acknowledgment of one :class:`ReplicateRecords`.
+
+    ``src_node`` is the *acking* node; the home commits the flush once
+    every live target has acked (or died).
+    """
+
+    src_node: int
+    flush_id: int
+
+    def wire_bytes(self) -> int:
+        # framing + header + node/flush-id words
+        return FRAME_BYTES + HEADER_BYTES + 16
+
 
 @dataclass
 class DirectReadRequest:

@@ -109,6 +109,7 @@ class PulseSwitch:
         self._m_batches = registry.counter("switch.batches_routed")
         self._m_batch_splits = registry.counter("switch.batch_splits")
         self._m_moved = registry.counter("switch.moved_redirects")
+        self._m_reinjected = registry.counter("switch.reinjected_frames")
         registry.gauge("switch.client_table_occupancy",
                        fn=lambda: len(self._table))
         registry.gauge("switch.rules",
@@ -378,6 +379,56 @@ class PulseSwitch:
                 payload = TraversalBatch(requests)
                 size = payload.wire_bytes()
             self._send(payload, size, f"mem{owner}")
+
+    def reinject(self, dead: str) -> int:
+        """Failover takeover: reclaim every frame in flight toward ``dead``.
+
+        Recovery calls this after the fence retargets the dead node's
+        ranges.  The switch's reliable layer still holds every unacked
+        frame it sent into the black hole -- checkpointed mid-traversal
+        continuations *and* fresh submissions that arrived during the
+        detection window.  Each is re-resolved against the live rules
+        and re-injected at the range's new owner, so the traversal
+        resumes from its serialized state instead of waiting out the
+        client's end-to-end retry.  Returns the number of frames
+        re-injected.
+        """
+        reinjected = 0
+        for payload in self.session.take_over(dead, include_all=True):
+            if isinstance(payload, TraversalBatch):
+                requests = list(payload)
+            else:
+                requests = [payload]
+            for request in requests:
+                if not isinstance(request, TraversalRequest):
+                    continue
+                if request.status is RequestStatus.MOVED:
+                    # The frame was bounced by an old owner and the dead
+                    # node was the redirect target; the re-resolution
+                    # below *is* the redirect.
+                    request.status = RequestStatus.RUNNING
+                owner = self.rangemap.node_of(request.cur_ptr)
+                if owner is None or f"mem{owner}" == dead:
+                    # Recovery did not retarget this pointer (it was
+                    # never mapped): a genuine fault, returned to the
+                    # issuing client if we still know it.
+                    entry = self._table.pop(request.request_id, None)
+                    if entry is None:
+                        self._m_dropped_stale.inc()
+                        continue
+                    request.status = RequestStatus.FAULT
+                    request.fault_reason = (
+                        f"switch: no live owner for pointer "
+                        f"{request.cur_ptr:#x} after failover")
+                    self._m_returned.inc()
+                    self._send(request, request.wire_bytes(), entry.client)
+                    continue
+                self._m_reinjected.inc()
+                self.tracer.record(self.name, "failover_reinject",
+                                   request.request_id, dst=f"mem{owner}")
+                self._send(request, request.wire_bytes(), f"mem{owner}")
+                reinjected += 1
+        return reinjected
 
     def _send(self, payload, size_bytes: int, dst: str) -> None:
         self.session.send(dst, PULSE_KIND, payload, size_bytes,

@@ -1,0 +1,211 @@
+"""Crash injection and mid-traversal failover.
+
+``cluster.kill_node(i)`` powers node ``i`` off at one simulated instant:
+its accelerator stops receiving, its transmissions vanish, and every
+byte in its DRAM is gone.  :class:`RecoveryManager` then runs the
+recovery schedule:
+
+1. **Detect** -- the failure detector (missed heartbeats at the switch)
+   takes ``failure_detect_ns`` before recovery starts; new frames keep
+   routing into the black hole meanwhile and are recovered later.
+2. **Replay** -- a timed phase charging the elected owners' log/extent
+   replay at ``replay_bandwidth_bytes_per_ns`` plus a fixed per-range
+   cursor cost, sized from the dead node's *mapped* TCAM coverage
+   (pure metadata, so every process in a sharded run charges the
+   identical time).
+3. **Fence** -- zero simulated time, mirroring the migration fence: for
+   each home-aligned segment the dead node owned, the elected replica
+   owner adopts physical memory, maps the segment, restores content
+   from the bootstrap store plus its replica store (never from the dead
+   DRAM), and the allocator + placement map retarget the range -- the
+   switch-rule update.
+4. **Resume** -- the switch reclaims every unacked frame it ever sent
+   toward the dead node (checkpointed mid-traversal continuations *and*
+   fresh submissions still retrying into the black hole), re-resolves
+   each against the live map, and re-injects it at the new owner.
+   Clients see elevated latency, not faults.
+
+Known limitations (documented, asserted nowhere): a segment migrated
+*after* a STORE was acknowledged strands that record's replicas on the
+peers of its old home; one crash at a time; crash schedules must not
+race migrations of the affected ranges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.durability.replication import elect_owner
+from repro.mem.translation import RangeEntry
+from repro.placement.migration import MigrationEngine
+
+
+class RecoveryError(Exception):
+    """Recovery cannot re-home a dead node's range (capacity, TCAM)."""
+
+
+class RecoveryManager:
+    """Re-homes a dead node's ranges onto elected replica owners."""
+
+    def __init__(self, service):
+        self.service = service
+        self.env = service.env
+        self.memory = service.memory
+        self.params = service.params
+        registry = service.registry
+        self._m_completed = registry.counter("recovery.completed")
+        self._m_ranges = registry.counter("recovery.ranges_rehomed")
+        self._m_bytes = registry.counter("recovery.bytes_replayed")
+        self._g_ttr = registry.gauge("recovery.time_to_recover_ns")
+
+    # -- the recovery schedule ----------------------------------------------
+    def recover(self, dead: int):
+        """Simulation process: detect, replay, fence, resume."""
+        started = self.env.now
+        yield self.env.timeout(self.params.failure_detect_ns)
+
+        dead_node = self.memory.nodes[dead]
+        segments = []
+        for start, end in self.memory.placement.rules_of(dead):
+            segments.extend(self._split_homes(start, end))
+        pieces = []
+        for start, end in segments:
+            pieces.extend(MigrationEngine._mapped_pieces(
+                dead_node.table.entries, start, end))
+        replay_bytes = sum(end - start for start, end in pieces)
+        replay_ns = (len(pieces) * self.params.replay_range_ns
+                     + replay_bytes
+                     / self.params.replay_bandwidth_bytes_per_ns)
+        yield self.env.timeout(replay_ns)
+        self._m_bytes.inc(replay_bytes)
+
+        # The fence: no simulated time passes below, so traversals can
+        # never observe a half-recovered segment.
+        for start, end in segments:
+            self._rehome(dead, start, end)
+            self._m_ranges.inc()
+
+        self._m_completed.inc()
+        self._g_ttr.set(self.env.now - started)
+        if self.service.switch is not None:
+            self.service.switch.reinject(dead_node.name)
+
+    # -- internals ----------------------------------------------------------
+    def _split_homes(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Cut one ownership rule at arithmetic home boundaries.
+
+        Replica placement and owner election are keyed off a segment's
+        arithmetic home, so a rule that coalesced across node boundaries
+        recovers per home -- each sub-segment lands exactly where its
+        records were replicated.
+        """
+        addrspace = self.memory.addrspace
+        out = []
+        cursor = start
+        while cursor < end:
+            home = addrspace.node_of(cursor)
+            _home_start, home_end = addrspace.range_of(home)
+            cut = min(end, home_end)
+            out.append((cursor, cut))
+            cursor = cut
+        return out
+
+    def _rehome(self, dead: int, virt_start: int, virt_end: int) -> None:
+        """Adopt one home-aligned segment on the elected replica owner."""
+        memory = self.memory
+        allocator = memory.allocator
+        dead_node = memory.nodes[dead]
+        home = memory.addrspace.node_of(virt_start)
+        owner = elect_owner(home, dead, memory.node_count,
+                            self.service.live)
+        if owner is None:
+            raise RecoveryError(
+                f"no live node can adopt [{virt_start:#x},{virt_end:#x}) "
+                f"from dead node {dead}")
+        dst_node = memory.nodes[owner]
+        pieces = MigrationEngine._mapped_pieces(dead_node.table.entries,
+                                                virt_start, virt_end)
+        total = sum(end - start for start, end in pieces)
+        if total and allocator.phys_available(owner) < total:
+            raise RecoveryError(
+                f"node {owner} lacks {total} physical bytes to adopt "
+                f"[{virt_start:#x},{virt_end:#x})")
+        if len(dst_node.table) + len(pieces) > dst_node.table.capacity:
+            raise RecoveryError(
+                f"node {owner} TCAM cannot hold {len(pieces)} more "
+                "entries")
+        if total:
+            dst_phys = allocator.adopt_physical(owner, total)
+        try:
+            removed = dead_node.table.remove_range(virt_start, virt_end)
+        except ValueError as exc:
+            if total:
+                allocator.release_physical(owner, dst_phys, total)
+            raise RecoveryError(str(exc)) from exc
+        inserted: List[RangeEntry] = []
+        offset = 0
+        for piece in removed:
+            size = piece.virt_end - piece.virt_start
+            # The dead DRAM is gone: zero-fill the adopted span (the
+            # allocator may hand back a previously-used hole) and
+            # rebuild content purely from the logged images below.
+            dst_node.memory.write(dst_phys + offset, bytes(size))
+            entry = RangeEntry(virt_start=piece.virt_start,
+                               virt_end=piece.virt_end,
+                               phys_start=dst_phys + offset,
+                               perms=piece.perms)
+            dst_node.table.insert(entry)
+            inserted.append(entry)
+            offset += size
+        self._restore(dst_node, owner, inserted, virt_start, virt_end)
+        allocator.transfer_ownership(virt_start, virt_end, dead, owner)
+        memory.placement.move(virt_start, virt_end, owner)
+
+    def _restore(self, dst_node, owner: int, inserted, virt_start: int,
+                 virt_end: int) -> None:
+        """Replay logged content onto the freshly mapped pieces.
+
+        Bootstrap records (the functional build, identical in every
+        process) first, then the owner's replica store (runtime STOREs
+        in arrival order) -- later images of an address overwrite
+        earlier ones, exactly redo semantics.
+        """
+        restored = self.service.nodes[owner]._m_restored
+        for store in (self.service.bootstrap,
+                      self.service.replicas[owner]):
+            for _seq, vaddr, data in store.overlapping(virt_start,
+                                                       virt_end):
+                applied = False
+                for entry in inserted:
+                    clip_start = max(vaddr, entry.virt_start)
+                    clip_end = min(vaddr + len(data), entry.virt_end)
+                    if clip_start >= clip_end:
+                        continue
+                    dst_node.write_virt(
+                        clip_start,
+                        data[clip_start - vaddr:clip_end - vaddr])
+                    applied = True
+                if applied:
+                    restored.inc()
+
+
+class CrashInjector:
+    """A deterministic kill schedule usable as a replicated factory.
+
+    ``cluster.shard(replicated=(CrashInjector(node, at_ns),))`` runs the
+    identical kill at the identical instant in every replica.  The
+    injector applies the kill *locally* on purpose: the public
+    ``cluster.kill_node`` broadcasts from the coordinator (workers see
+    it at the next window), which a replicated factory must not mix
+    with -- every replica is already running this schedule itself.
+    """
+
+    def __init__(self, node_id: int, at_ns: float):
+        self.node_id = node_id
+        self.at_ns = at_ns
+
+    def __call__(self, cluster):
+        def crash():
+            yield cluster.env.timeout(self.at_ns)
+            cluster._kill_node_local(self.node_id)
+        return crash()

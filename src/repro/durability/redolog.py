@@ -1,0 +1,54 @@
+"""Per-node append-only redo log.
+
+Every acknowledged STORE (and allocator-visible mutation routed through
+the accelerator's write path) appends one :class:`LogRecord`.  Records
+carry a monotone per-node LSN; the flusher group-commits buffered
+records at the log device's sequential bandwidth and the node's durable
+LSN advances only when the flush -- and its replication -- completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One redo-log entry: an absolute byte image at a virtual address.
+
+    ``wire_bytes`` is the on-log (and on-wire, when replicated) size:
+    the fixed record framing -- LSN, vaddr, length, checksum -- plus the
+    payload itself.
+    """
+
+    lsn: int
+    vaddr: int
+    data: bytes
+    wire_bytes: int
+
+
+class RedoLog:
+    """The append side of one node's log: LSN assignment + buffering."""
+
+    def __init__(self, record_header_bytes: int):
+        self.record_header_bytes = record_header_bytes
+        self.next_lsn = 1
+        #: records appended but not yet picked up by the flusher
+        self.buffer: List[LogRecord] = []
+        self.buffer_bytes = 0
+
+    def append(self, vaddr: int, data: bytes) -> LogRecord:
+        record = LogRecord(
+            lsn=self.next_lsn, vaddr=vaddr, data=bytes(data),
+            wire_bytes=self.record_header_bytes + len(data))
+        self.next_lsn += 1
+        self.buffer.append(record)
+        self.buffer_bytes += record.wire_bytes
+        return record
+
+    def take_buffer(self) -> List[LogRecord]:
+        """Hand the buffered records to the flusher (clears the buffer)."""
+        records, self.buffer = self.buffer, []
+        self.buffer_bytes = 0
+        return records

@@ -164,6 +164,10 @@ class GlobalMemory:
         #: shared with the switch and mutated only by the migration engine
         self.placement = PlacementMap(self.addrspace)
         self.allocator.owner_map = self.placement
+        #: set by the cluster when durability is enabled; functional
+        #: (zero-time) writes are captured into the bootstrap store so
+        #: recovery can rebuild data that predates the redo log
+        self.durability = None
 
     @property
     def node_count(self) -> int:
@@ -215,6 +219,8 @@ class GlobalMemory:
         if node is None:
             raise TranslationFault(vaddr)
         node.write_virt(vaddr, data)
+        if self.durability is not None:
+            self.durability.capture(vaddr, data)
 
     def read_u64(self, vaddr: int) -> int:
         return int.from_bytes(self.read(vaddr, 8), "little")

@@ -274,6 +274,43 @@ class PlacementParams:
 
 
 @dataclass(frozen=True)
+class DurabilityParams:
+    """Durability subsystem knobs (see ``repro.durability``).
+
+    Disabled by default: with ``enabled=False`` no redo log exists, no
+    replication traffic is generated, and acknowledgement timing is
+    byte-identical to a build without the subsystem.  When enabled,
+    every acknowledged STORE is appended to the owning node's redo log,
+    group-committed, and replicated to ``replication_factor - 1`` peer
+    nodes before the client sees the response.
+    """
+
+    #: master switch; off keeps the volatile pre-durability behaviour
+    enabled: bool = False
+    #: copies of every log record / recovered extent, home included
+    #: (2 => one replica peer per home node)
+    replication_factor: int = 2
+    #: group-commit window: the flusher waits this long after the first
+    #: buffered record before forcing a flush, batching later arrivals
+    group_commit_ns: float = 8.0 * US
+    #: force a flush early once this many payload bytes are buffered
+    group_commit_bytes: int = 16 * KB
+    #: sequential append bandwidth of the log device (below the 25 B/ns
+    #: node cap: the log shares the memory channels with live loads)
+    log_bandwidth_bytes_per_ns: float = 12.5
+    #: on-log framing per record (LSN, vaddr, length, checksum)
+    record_header_bytes: int = 32
+    #: time between a node dying and recovery starting (failure
+    #: detector: missed heartbeats at the switch)
+    failure_detect_ns: float = 50.0 * US
+    #: replay bandwidth while re-homing a dead node's ranges (same
+    #: budget as migration phase-1 copies)
+    replay_bandwidth_bytes_per_ns: float = 10.0
+    #: fixed per-range cost during replay (cursor setup, TCAM insert)
+    replay_range_ns: float = 500.0
+
+
+@dataclass(frozen=True)
 class PowerParams:
     """Average active power per platform, in watts.
 
@@ -309,6 +346,7 @@ class SystemParams:
     transport: TransportParams = field(default_factory=TransportParams)
     memory: MemoryParams = field(default_factory=MemoryParams)
     placement: PlacementParams = field(default_factory=PlacementParams)
+    durability: DurabilityParams = field(default_factory=DurabilityParams)
     power: PowerParams = field(default_factory=PowerParams)
 
     def with_overrides(self, **kwargs) -> "SystemParams":

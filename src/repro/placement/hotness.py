@@ -27,6 +27,17 @@ endpoints live on different memory nodes is a **cut edge**, i.e. one
 switch hop plus a transport checkpoint per traversal that crosses it.
 Edges ride the same geometric skip, the same ``weight=sample_period``
 unbiasing, the same lazy decay, and the same epsilon prune as segments.
+
+Sampling state is **per memory node**: each accelerator samples into its
+own :meth:`HotnessTracker.node_view` -- a child tracker with a private
+RNG stream seeded from ``(run seed, node id)`` and private segment/edge
+maps.  The parent tracker aggregates across its views for every read
+(gauges, rebalancer queries), so consumers see one rack-wide heat map.
+Per-node streams are what make sharded execution byte-identical to the
+in-process run: a worker process advances exactly the views of the
+nodes it owns, drawing the identical skips the in-process run draws for
+those nodes, and the merged ``placement.hot.*`` gauges sum per-worker
+contributions in the same node order the in-process aggregate uses.
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ class HotnessTracker:
 
     def __init__(self, segment_bytes: int, halflife_ns: float,
                  clock: Callable[[], float], sample_period: int = 8,
-                 seed: int = 0):
+                 seed: int = 0, stream: str = "hotness"):
         if segment_bytes < 1 or (segment_bytes & (segment_bytes - 1)):
             raise ValueError("segment_bytes must be a power of two")
         if halflife_ns <= 0:
@@ -62,17 +73,53 @@ class HotnessTracker:
         self.halflife_ns = halflife_ns
         self.sample_period = sample_period
         self.clock = clock
-        #: skip-length source, deterministic per run seed
-        self._rng = random.Random(f"{seed}:hotness")
+        self._seed = seed
+        #: skip-length source, deterministic per (run seed, stream label)
+        self._rng = random.Random(f"{seed}:{stream}")
         self._countdown = self._draw_skip()
         #: segment start -> (decayed count, last decay timestamp)
         self._segments: Dict[int, Tuple[float, float]] = {}
         #: (seg_lo, seg_hi) -> (decayed weight, last decay timestamp);
         #: the sampled segment-affinity graph, undirected
         self._edges: Dict[Tuple[int, int], Tuple[float, float]] = {}
-        self.samples = 0
-        self.edge_samples = 0
+        self._own_samples = 0
+        self._own_edge_samples = 0
+        #: node id -> child tracker with a private RNG stream; samples
+        #: recorded through a view show up in every aggregate read here
+        self._views: Dict[int, "HotnessTracker"] = {}
         self._until_prune = self.PRUNE_PERIOD
+
+    def node_view(self, node_id: int) -> "HotnessTracker":
+        """The per-node child tracker accelerator ``node_id`` samples into.
+
+        Created on first request with an RNG stream seeded from
+        ``(run seed, node id)`` -- a worker process that only ever
+        advances its own nodes' views draws exactly the skips the
+        in-process run draws for those nodes.
+        """
+        view = self._views.get(node_id)
+        if view is None:
+            view = HotnessTracker(self.segment_bytes, self.halflife_ns,
+                                  self.clock,
+                                  sample_period=self.sample_period,
+                                  seed=self._seed,
+                                  stream=f"hotness:{node_id}")
+            self._views[node_id] = view
+        return view
+
+    def _sources(self):
+        """This tracker's own maps, then every view in node order."""
+        yield self
+        for node_id in sorted(self._views):
+            yield self._views[node_id]
+
+    @property
+    def samples(self) -> int:
+        return sum(src._own_samples for src in self._sources())
+
+    @property
+    def edge_samples(self) -> int:
+        return sum(src._own_edge_samples for src in self._sources())
 
     def _draw_skip(self) -> int:
         """Accesses until the next taken sample, Geometric(1/period).
@@ -90,7 +137,7 @@ class HotnessTracker:
         return 1 + int(math.log(u) / math.log(1.0 - p))
 
     def __len__(self) -> int:
-        return len(self._segments)
+        return sum(len(src._segments) for src in self._sources())
 
     def _segment_of(self, vaddr: int) -> int:
         return vaddr & ~(self.segment_bytes - 1)
@@ -147,7 +194,7 @@ class HotnessTracker:
         count, since = self._segments.get(segment, (0.0, now))
         self._segments[segment] = (
             self._decayed(count, since, now) + weight, now)
-        self.samples += 1
+        self._own_samples += 1
         self._until_prune -= 1
         if self._until_prune <= 0:
             self._until_prune = self.PRUNE_PERIOD
@@ -167,10 +214,14 @@ class HotnessTracker:
         now = self.clock()
         count, since = self._edges.get(key, (0.0, now))
         self._edges[key] = (self._decayed(count, since, now) + weight, now)
-        self.edge_samples += 1
+        self._own_edge_samples += 1
 
     def edge_weight(self, vaddr_a: int, vaddr_b: int) -> float:
         """Current decayed weight of the edge between two segments."""
+        return sum(src._own_edge_weight(vaddr_a, vaddr_b)
+                   for src in self._sources())
+
+    def _own_edge_weight(self, vaddr_a: int, vaddr_b: int) -> float:
         a = self._segment_of(vaddr_a)
         b = self._segment_of(vaddr_b)
         key = (a, b) if a < b else (b, a)
@@ -179,12 +230,8 @@ class HotnessTracker:
         count, since = self._edges[key]
         return self._decayed(count, since, self.clock())
 
-    def hot_edges(self, top_n: int = 0) -> List[Tuple[int, int, float]]:
-        """(seg_a, seg_b, decayed weight) triples, heaviest first.
-
-        Cold edges (below :data:`PRUNE_EPSILON`) are dropped as a side
-        effect, mirroring :meth:`hot_segments`.
-        """
+    def _own_hot_edges(self) -> List[Tuple[int, int, float]]:
+        """This instance's edges only; prunes cold ones as a side effect."""
         now = self.clock()
         ranked: List[Tuple[int, int, float]] = []
         dead: List[Tuple[int, int]] = []
@@ -196,6 +243,24 @@ class HotnessTracker:
                 ranked.append((a, b, current))
         for key in dead:
             del self._edges[key]
+        ranked.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return ranked
+
+    def hot_edges(self, top_n: int = 0) -> List[Tuple[int, int, float]]:
+        """(seg_a, seg_b, decayed weight) triples, heaviest first.
+
+        Aggregated across the per-node views (weights for the same
+        segment pair sum); cold edges (below :data:`PRUNE_EPSILON`) are
+        dropped as a side effect, mirroring :meth:`hot_segments`.
+        """
+        if not self._views:
+            ranked = self._own_hot_edges()
+            return ranked[:top_n] if top_n else ranked
+        merged: Dict[Tuple[int, int], float] = {}
+        for src in self._sources():
+            for a, b, weight in src._own_hot_edges():
+                merged[(a, b)] = merged.get((a, b), 0.0) + weight
+        ranked = [(a, b, weight) for (a, b), weight in merged.items()]
         ranked.sort(key=lambda item: (-item[2], item[0], item[1]))
         return ranked[:top_n] if top_n else ranked
 
@@ -226,19 +291,17 @@ class HotnessTracker:
 
     def heat_of(self, vaddr: int) -> float:
         """Current decayed count of the segment containing ``vaddr``."""
+        return sum(src._own_heat_of(vaddr) for src in self._sources())
+
+    def _own_heat_of(self, vaddr: int) -> float:
         segment = self._segment_of(vaddr)
         if segment not in self._segments:
             return 0.0
         count, since = self._segments[segment]
         return self._decayed(count, since, self.clock())
 
-    def hot_segments(self, top_n: int = 0) -> List[Tuple[int, float]]:
-        """(segment_start, decayed_count) pairs, hottest first.
-
-        Segments that have decayed below :data:`PRUNE_EPSILON` are
-        dropped from the map as a side effect, so repeated calls stay
-        proportional to the warm footprint.
-        """
+    def _own_hot_segments(self) -> List[Tuple[int, float]]:
+        """This instance's segments only; prunes cold ones on the way."""
         now = self.clock()
         ranked: List[Tuple[int, float]] = []
         dead: List[int] = []
@@ -251,6 +314,25 @@ class HotnessTracker:
         for segment in dead:
             del self._segments[segment]
         ranked.sort(key=lambda item: -item[1])
+        return ranked
+
+    def hot_segments(self, top_n: int = 0) -> List[Tuple[int, float]]:
+        """(segment_start, decayed_count) pairs, hottest first.
+
+        Aggregated across the per-node views (counts for the same
+        segment sum); segments that have decayed below
+        :data:`PRUNE_EPSILON` are dropped from their map as a side
+        effect, so repeated calls stay proportional to the warm
+        footprint.
+        """
+        if not self._views:
+            ranked = self._own_hot_segments()
+            return ranked[:top_n] if top_n else ranked
+        merged: Dict[int, float] = {}
+        for src in self._sources():
+            for segment, heat in src._own_hot_segments():
+                merged[segment] = merged.get(segment, 0.0) + heat
+        ranked = sorted(merged.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:top_n] if top_n else ranked
 
     def _prune(self, now: float) -> None:
@@ -268,23 +350,37 @@ class HotnessTracker:
             del self._edges[key]
 
     def node_heat(self, rangemap) -> Dict[int, float]:
-        """Decayed counts summed per owning node (via the placement map)."""
+        """Decayed counts summed per owning node (via the placement map).
+
+        Accumulated source by source in node-view order, so the
+        floating-point addition order matches the sharded merge (which
+        sums per-worker gauge values in the same sorted node order).
+        """
         totals: Dict[int, float] = {}
-        for segment, heat in self.hot_segments():
-            owner = rangemap.node_of(segment)
-            if owner is not None:
-                totals[owner] = totals.get(owner, 0.0) + heat
+        for src in self._sources():
+            for segment, heat in src._own_hot_segments():
+                owner = rangemap.node_of(segment)
+                if owner is not None:
+                    totals[owner] = totals.get(owner, 0.0) + heat
         return totals
+
+    def _own_peak(self) -> float:
+        ranked = self._own_hot_segments()
+        return ranked[0][1] if ranked else 0.0
 
     def attach_metrics(self, registry) -> None:
         registry.gauge("placement.hot.segments", fn=lambda: len(self))
         registry.gauge("placement.hot.samples", fn=lambda: self.samples)
-        registry.gauge("placement.hot.edges", fn=lambda: len(self._edges))
+        registry.gauge("placement.hot.edges",
+                       fn=lambda: sum(len(src._edges)
+                                      for src in self._sources()))
         registry.gauge("placement.hot.edge_samples",
                        fn=lambda: self.edge_samples)
 
         def peak() -> float:
-            ranked = self.hot_segments(top_n=1)
-            return ranked[0][1] if ranked else 0.0
+            # max over per-view peaks (not the peak of the summed map):
+            # the sharded merge takes the max of per-worker gauge
+            # values, which is exactly this quantity.
+            return max(src._own_peak() for src in self._sources())
 
         registry.gauge("placement.hot.peak", fn=peak)

@@ -47,8 +47,15 @@ class PlacementService:
     # -- accelerator hookup -------------------------------------------------
     def attach_accelerator(self, accelerator) -> None:
         """Feed the tracker from this accelerator's memory pipeline and
-        give its miss path the shared map (its migration journal)."""
-        accelerator.hotness = self.tracker
+        give its miss path the shared map (its migration journal).
+
+        Each accelerator samples into its node's private view (own RNG
+        stream seeded from the node id), so a sharded worker that only
+        executes its own nodes draws the identical skips the in-process
+        run draws -- ``placement.hot.*`` stays byte-identical either way.
+        """
+        accelerator.hotness = self.tracker.node_view(
+            accelerator.node.node_id)
         accelerator.placement_map = self.rangemap
 
     def on_node_added(self, node_id: int) -> None:

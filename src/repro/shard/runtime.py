@@ -117,6 +117,8 @@ def apply_ctl(cluster, ctl, activation_ns: float,
                     else done_event.fail(p._value))
         elif kind == "begin_measurement":
             cluster._begin_measurement_local()
+        elif kind == "kill_node":
+            cluster._kill_node_local(*args)
         else:
             raise ShardError(f"unknown control record {kind!r}")
 
@@ -328,6 +330,15 @@ class ShardedRuntime:
         self.broadcast_ctl("migrate", (virt_start, virt_end, dst_node),
                            done)
         return done
+
+    def kill_node(self, node_id: int) -> None:
+        """Broadcast a node crash; applied at every replica's next window.
+
+        The kill lands at the same simulated instant everywhere, so the
+        recovery schedule (and every durability counter it drives) stays
+        byte-identical with the in-process run.
+        """
+        self.broadcast_ctl("kill_node", (node_id,))
 
     def begin_measurement(self) -> None:
         """Reset worker metrics at the next window start.

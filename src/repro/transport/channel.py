@@ -26,10 +26,15 @@ class Channel:
         self.name = name
         self.endpoint: Endpoint = fabric.register(name)
         self.registry = registry if registry is not None else fabric.registry
+        #: crash flag: a powered-off component's transmissions vanish at
+        #: the NIC (retransmit timers, acks, and responses all go dark)
+        self.powered_off = False
 
     def send(self, message: Message, segments: int = 2,
              extra_latency_ns: float = 0.0) -> None:
         """Fire-and-forget delivery through the fabric."""
+        if self.powered_off:
+            return
         self.fabric.send(message, segments=segments,
                          extra_latency_ns=extra_latency_ns)
 

@@ -206,6 +206,35 @@ class ReliableChannel:
             self._transmit(entry)
             timeout = min(timeout * 2.0, self.params.hop_backoff_cap_ns)
 
+    def take_over(self, dst: str, include_all: bool = False) -> list:
+        """Cancel and return every unacked *checkpointed* payload to ``dst``.
+
+        Recovery calls this when ``dst`` is declared dead: checkpoint
+        frames carry the traversal's serialized mid-flight state, so
+        instead of letting the per-hop timers retry into a black hole
+        (and eventually give up into the client's end-to-end timeout),
+        the caller re-injects the payloads at the range's new owner.
+        Non-checkpoint frames keep their timers and take the normal
+        give-up path -- they carry no resumable state -- unless
+        ``include_all`` is set: a *permanently* dead destination never
+        acks, so even fresh submissions are reclaimed and re-resolved
+        instead of burning their whole retry budget into the black
+        hole.  Returned in sequence order (the order originally sent).
+        """
+        flow = self._tx.get(dst)
+        if flow is None:
+            return []
+        resumed = []
+        for seq in sorted(flow.outstanding):
+            entry = flow.outstanding[seq]
+            if include_all or entry.segment.header.is_checkpoint:
+                entry.acked = True  # parks the retransmit loop
+                del flow.outstanding[seq]
+                resumed.append(entry.segment.payload)
+                if entry.segment.header.is_checkpoint:
+                    self._m_checkpoint_resumes.inc()
+        return resumed
+
     # -- receiving -----------------------------------------------------------
     def _demux_loop(self):
         while True:

@@ -67,6 +67,16 @@ class TransportSession:
     def armed_to(self, dst: str) -> bool:
         return self.reliable.armed_to(dst)
 
+    def take_over(self, dst: str, include_all: bool = False) -> list:
+        """Reclaim unacked checkpoint payloads toward a dead ``dst``.
+
+        See :meth:`~repro.transport.reliable.ReliableChannel.take_over`;
+        recovery re-injects the returned frames at the new range owner.
+        ``include_all`` reclaims non-checkpoint frames too (permanent
+        node death rather than a transient loss).
+        """
+        return self.reliable.take_over(dst, include_all=include_all)
+
     def send(self, dst: str, kind: str, payload: Any, size_bytes: int,
              segments: Optional[int] = None,
              extra_latency_ns: float = 0.0) -> None:

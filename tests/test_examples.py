@@ -23,6 +23,7 @@ QUICK_EXAMPLES = [
     "scale_out.py",
     "split_index.py",
     "sharded_cluster.py",
+    "crash_recovery.py",
 ]
 
 
